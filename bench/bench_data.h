@@ -1,0 +1,53 @@
+// Shared stream/workload builders for the figure benches.
+
+#ifndef SOP_BENCH_BENCH_DATA_H_
+#define SOP_BENCH_BENCH_DATA_H_
+
+#include <memory>
+
+#include "figure.h"
+#include "sop/gen/stt.h"
+#include "sop/gen/synthetic.h"
+#include "sop/gen/workload_gen.h"
+
+namespace sop {
+namespace bench {
+
+/// Synthetic stream factory (paper Sec. 6.2 experiments). The generator
+/// seeds are fixed so every detector and every bench run sees the same
+/// bytes.
+inline StreamFactory SyntheticStream(int64_t n) {
+  return [n]() -> std::unique_ptr<StreamSource> {
+    gen::SyntheticOptions options;
+    options.seed = 20160626;  // SIGMOD'16 opening day
+    return std::make_unique<gen::SyntheticSource>(n, options);
+  };
+}
+
+/// STT-like stock trade stream factory (paper Sec. 6.3 experiments).
+/// Count-based windows are used (as in the paper's reported runs), so the
+/// trade timestamps are irrelevant to windowing.
+inline StreamFactory SttStream(int64_t n) {
+  return [n]() -> std::unique_ptr<StreamSource> {
+    gen::SttOptions options;
+    options.seed = 19980427;  // STT trace vintage
+    return std::make_unique<gen::SttSource>(n, options);
+  };
+}
+
+/// Workload factory for one Table-1 case with bench-scaled ranges.
+inline WorkloadFactory CaseWorkload(gen::WorkloadCase wcase,
+                                    gen::WorkloadGenOptions options) {
+  return [wcase, options](size_t num_queries) {
+    gen::WorkloadGenOptions per_size = options;
+    // Decorrelate parameter draws across workload sizes, deterministically.
+    per_size.seed = options.seed + num_queries * 1315423911ULL;
+    return gen::GenerateWorkload(wcase, num_queries, WindowType::kCount,
+                                 per_size);
+  };
+}
+
+}  // namespace bench
+}  // namespace sop
+
+#endif  // SOP_BENCH_BENCH_DATA_H_

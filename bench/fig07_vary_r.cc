@@ -1,0 +1,26 @@
+// Fig. 7: workloads with arbitrary r (Table-1 case A) on synthetic data.
+// Paper setting: win 10K, slide 0.5K, k = 30, r uniform in [200, 2000);
+// workloads of 10 / 100 / 500 / 1000 queries.
+
+#include "bench_data.h"
+#include "figure.h"
+
+int main() {
+  using namespace sop;
+  using namespace sop::bench;
+
+  const int64_t kStream = FastMode() ? 6000 : 20000;
+  gen::WorkloadGenOptions options;  // Table-2 ranges; fixed k/win/slide
+  options.win_fixed = 10000;
+  options.slide_fixed = 500;
+  options.k_fixed = 30;
+
+  FigureRunner runner("Fig.7", "Varying r values (workload A), synthetic");
+  runner.AddNote("win=10000 slide=500 k=30, r in [200,2000)");
+  runner.AddNote("stream: " + std::to_string(kStream) +
+                 " synthetic points (Gaussian inliers + uniform outliers)");
+  runner.Run(MaybeShrinkSizes({10, 100, 500, 1000}),
+             CaseWorkload(gen::WorkloadCase::kA, options),
+             SyntheticStream(kStream));
+  return 0;
+}

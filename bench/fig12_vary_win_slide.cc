@@ -1,0 +1,36 @@
+// Fig. 12: workloads with arbitrary window AND slide sizes (Table-1 case
+// F) on the STT-like stream. Paper setting: r = 200, k = 30, win in
+// [1K, 500K), slide in [50, 50K); 10 / 100 / 500 / 1000 queries.
+//
+// Scaling note: windows in [1K, 40K), slides in [500, 5K) quantized to
+// 500, stream 60K trades (see fig11 and DESIGN.md Sec. 6).
+
+#include "bench_data.h"
+#include "figure.h"
+
+int main() {
+  using namespace sop;
+  using namespace sop::bench;
+
+  const int64_t kStream = FastMode() ? 12000 : 60000;
+  const int64_t kWinHi = FastMode() ? 8000 : 40000;
+  gen::WorkloadGenOptions options;
+  options.r_fixed = 200.0;
+  options.k_fixed = 30;
+  options.win_lo = 1000;
+  options.win_hi = kWinHi;
+  options.slide_lo = 500;
+  options.slide_hi = 5000;
+  options.slide_quantum = 500;
+
+  FigureRunner runner("Fig.12",
+                      "Varying Win and Slide (workload F), STT stream");
+  runner.AddNote("r=200 k=30, win in [1000," + std::to_string(kWinHi) +
+                 "), slide in [500,5000) step 500 [paper ranges scaled]");
+  runner.AddNote("stream: " + std::to_string(kStream) + " STT-like trades");
+  runner.set_cap(DetectorKind::kLeap, 500);
+  runner.Run(MaybeShrinkSizes({10, 100, 500, 1000}),
+             CaseWorkload(gen::WorkloadCase::kF, options),
+             SttStream(kStream));
+  return 0;
+}

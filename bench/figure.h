@@ -1,0 +1,82 @@
+// Harness for regenerating the paper's evaluation figures.
+//
+// Each fig*.cc binary builds the workloads of one figure, streams the same
+// data through SOP and the baselines, and prints the figure's two series —
+// average CPU time per window (ms) and peak evidence memory (MB) — as a
+// table plus machine-readable RESULT lines.
+//
+// Absolute numbers differ from the paper (different hardware, C++ vs Java,
+// scaled-down streams documented per bench); the comparisons the paper
+// makes — who wins, by what order of magnitude, how each method scales
+// with workload size — are what these benches reproduce. See
+// EXPERIMENTS.md for the side-by-side reading.
+
+#ifndef SOP_BENCH_FIGURE_H_
+#define SOP_BENCH_FIGURE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sop/detector/factory.h"
+#include "sop/detector/metrics.h"
+#include "sop/query/workload.h"
+#include "sop/stream/source.h"
+
+namespace sop {
+namespace bench {
+
+/// True when SOP_BENCH_FAST=1: shrink workload sizes for smoke runs.
+bool FastMode();
+
+/// Builds a fresh source for one detector run (every detector must see an
+/// identical stream).
+using StreamFactory = std::function<std::unique_ptr<StreamSource>()>;
+
+/// Builds the workload for a given size (number of queries).
+using WorkloadFactory = std::function<Workload(size_t num_queries)>;
+
+/// Runs every (size, detector) cell of one figure and prints its tables.
+class FigureRunner {
+ public:
+  FigureRunner(std::string figure_id, std::string description);
+
+  /// Detectors to compare, in column order. Default: SOP, MCOD, LEAP.
+  void set_detectors(std::vector<DetectorKind> kinds) {
+    kinds_ = std::move(kinds);
+  }
+
+  /// Skips `kind` for workloads larger than `max_queries` (resource
+  /// budget); skipped cells print "-".
+  void set_cap(DetectorKind kind, size_t max_queries) {
+    caps_[kind] = max_queries;
+  }
+
+  /// Free-form parameter notes echoed under the title.
+  void AddNote(const std::string& note) { notes_.push_back(note); }
+
+  /// Runs all cells and prints the CPU and MEM tables.
+  void Run(const std::vector<size_t>& workload_sizes,
+           const WorkloadFactory& workload_factory,
+           const StreamFactory& stream_factory);
+
+ private:
+  std::string figure_id_;
+  std::string description_;
+  std::vector<std::string> notes_;
+  std::vector<DetectorKind> kinds_ = {DetectorKind::kSop, DetectorKind::kMcod,
+                                      DetectorKind::kLeap};
+  std::map<DetectorKind, size_t> caps_;
+};
+
+/// Shrinks each size by 1/8 (min 1) in fast mode.
+std::vector<size_t> MaybeShrinkSizes(std::vector<size_t> sizes);
+
+}  // namespace bench
+}  // namespace sop
+
+#endif  // SOP_BENCH_FIGURE_H_

@@ -1,0 +1,131 @@
+#include "sop/baselines/leap.h"
+
+#include <utility>
+
+#include "sop/common/check.h"
+#include "sop/common/memory.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+
+LeapDetector::LeapDetector(const Workload& workload)
+    : workload_(workload), buffer_(workload.window_type()) {
+  const std::string problem = workload_.Validate();
+  SOP_CHECK_MSG(problem.empty(), problem.c_str());
+  win_max_ = workload_.MaxWindow();
+  states_.reserve(workload_.num_queries());
+  for (size_t i = 0; i < workload_.num_queries(); ++i) {
+    states_.push_back(QueryState{workload_.query(i),
+                                 workload_.MakeDistanceFn(i),
+                                 /*first_seq=*/0,
+                                 {}});
+  }
+}
+
+std::vector<QueryResult> LeapDetector::Advance(std::vector<Point> batch,
+                                               int64_t boundary) {
+  const Seq first_new_seq = buffer_.next_seq();
+  for (Point& p : batch) buffer_.Append(std::move(p));
+  buffer_.ExpireBefore(WindowStart(boundary, win_max_));
+
+  std::vector<QueryResult> results;
+  last_results_bytes_ = 0;
+  for (size_t qi = 0; qi < states_.size(); ++qi) {
+    QueryState& qs = states_[qi];
+    // Grow evidence for the new arrivals.
+    if (qs.evidence.empty()) qs.first_seq = first_new_seq;
+    for (Seq s = std::max(first_new_seq,
+                          qs.first_seq + static_cast<Seq>(qs.evidence.size()));
+         s < buffer_.next_seq(); ++s) {
+      Evidence e;
+      e.left_cursor = s;
+      e.right_cursor = s + 1;
+      qs.evidence.push_back(std::move(e));
+    }
+    // Shrink evidence to this query's own window: points below
+    // boundary - win can never re-enter it.
+    const int64_t q_start = WindowStart(boundary, qs.query.win);
+    while (!qs.evidence.empty() &&
+           (qs.first_seq < buffer_.first_seq() ||
+            buffer_.KeyOf(qs.first_seq) < q_start)) {
+      qs.evidence.pop_front();
+      ++qs.first_seq;
+    }
+
+    if (!EmitsAt(boundary, qs.query.slide)) continue;
+    QueryResult result;
+    result.query_index = qi;
+    result.boundary = boundary;
+    const Seq window_begin = buffer_.LowerBoundKey(q_start);
+    for (Seq s = window_begin; s < buffer_.next_seq(); ++s) {
+      if (EvaluatePoint(qs, s, window_begin, q_start)) {
+        result.outliers.push_back(s);
+      }
+    }
+    last_results_bytes_ += VectorHeapBytes(result.outliers);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+bool LeapDetector::EvaluatePoint(QueryState& qs, Seq s, Seq window_begin,
+                                 int64_t start) {
+  Evidence& e = qs.evidence[static_cast<size_t>(s - qs.first_seq)];
+  const int64_t k = qs.query.k;
+  ++stats_.points_evaluated;
+  if (e.safe) return false;
+  if (e.succ_count >= k) {
+    // Safe inlier: k neighbors that outlive the point. Evidence beyond the
+    // flag is no longer needed.
+    e.safe = true;
+    e.pred_keys.clear();
+    e.pred_keys.shrink_to_fit();
+    return false;
+  }
+  // Drop expired preceding evidence (descending keys: expired at the back).
+  while (!e.pred_keys.empty() && e.pred_keys.back() < start) {
+    e.pred_keys.pop_back();
+  }
+  int64_t total = e.succ_count + static_cast<int64_t>(e.pred_keys.size());
+  const Point& p = buffer_.At(s);
+  const double r = qs.query.r;
+  // Probe the new (succeeding) side first — lifespan-aware prioritization:
+  // succeeding evidence never expires while p is alive.
+  Seq t = e.right_cursor;
+  for (; total < k && t < buffer_.next_seq(); ++t) {
+    ++stats_.distances_computed;
+    if (qs.dist(p, buffer_.At(t)) <= r) {
+      ++e.succ_count;
+      ++total;
+    }
+  }
+  e.right_cursor = t;
+  // Then resume the backward scan over older in-window points.
+  Seq u = e.left_cursor - 1;
+  for (; total < k && u >= window_begin; --u) {
+    ++stats_.distances_computed;
+    if (qs.dist(p, buffer_.At(u)) <= r) {
+      e.pred_keys.push_back(buffer_.KeyOf(u));
+      ++total;
+    }
+  }
+  e.left_cursor = u + 1;
+  if (e.succ_count >= k) {
+    e.safe = true;
+    e.pred_keys.clear();
+    e.pred_keys.shrink_to_fit();
+    ++stats_.safe_points_discovered;
+  }
+  return total < k;
+}
+
+size_t LeapDetector::MemoryBytes() const {
+  size_t bytes = last_results_bytes_;
+  for (const QueryState& qs : states_) {
+    bytes += DequeHeapBytes(qs.evidence);
+    for (const Evidence& e : qs.evidence) bytes += VectorHeapBytes(e.pred_keys);
+  }
+  return bytes;
+}
+
+}  // namespace sop

@@ -1,0 +1,129 @@
+// MCOD baseline: reimplementation of the multi-query-extended MCOD
+// (Kontaki et al., "Continuous monitoring of distance-based outliers over
+// data streams", ICDE 2011 — reference [13] of the SOP paper), augmented
+// with swift-query window sharing exactly as the SOP paper's authors did
+// for their comparison ("we have extended MCOD by inserting our
+// window-specific techniques").
+//
+// Behaviour reproduced (paper Secs. 6.2 and 7):
+//   * Every arriving point performs a full range scan against the window
+//     and *keeps all points satisfying the neighbor condition of any
+//     query* (distance <= r_max); individual queries post-filter this
+//     large neighbor set. This is the multi-query MCOD strategy [13]
+//     describes and the memory behaviour the SOP paper measures.
+//   * Micro-clusters of radius r_min/2 are maintained for the *simulated*
+//     most-restrictive query (k_max, r_min): members are pairwise within
+//     r_min of each other, so a member with >= k in-window co-members is an
+//     inlier for any query — the fast inlier path at emission time.
+//   * Range queries are linear scans (the paper: "it will compare each
+//     data point with all the other data points in each window"); the
+//     original M-tree index is not reproduced, in MCOD's favor on CPU.
+//
+// Results are exact: per-point neighbor lists are complete within r_max,
+// so the post-filter count is the true neighbor count for every query.
+
+#ifndef SOP_BASELINES_MCOD_H_
+#define SOP_BASELINES_MCOD_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sop/common/distance.h"
+#include "sop/detector/detector.h"
+#include "sop/index/grid.h"
+#include "sop/stream/stream_buffer.h"
+
+namespace sop {
+
+class McodDetector : public OutlierDetector {
+ public:
+  struct Options {
+    /// Route insertion range scans through a uniform grid index instead of
+    /// the linear scan the SOP paper describes. This emulates the original
+    /// MCOD's M-tree-assisted range queries; see bench/mcod_index.cc for
+    /// the effect.
+    bool use_grid_index = false;
+    /// Grid pitch as a multiple of r_min (only with use_grid_index).
+    double grid_cell_factor = 1.0;
+  };
+
+  explicit McodDetector(const Workload& workload)
+      : McodDetector(workload, Options()) {}
+  McodDetector(const Workload& workload, Options options);
+
+  const char* name() const override {
+    return options_.use_grid_index ? "mcod-grid" : "mcod";
+  }
+  std::vector<QueryResult> Advance(std::vector<Point> batch,
+                                   int64_t boundary) override;
+  size_t MemoryBytes() const override;
+
+  /// Number of live micro-clusters (exposed for tests).
+  size_t num_clusters() const;
+
+ private:
+  // One retained neighbor of a point: enough to answer "is it within r and
+  // inside window w" for any query.
+  struct Neighbor {
+    int64_t key;
+    double dist;
+  };
+
+  // Append-at-back / expire-at-front neighbor list, ascending by key.
+  // Implemented as vector + head index with periodic compaction to avoid
+  // per-point deque block overhead.
+  struct NeighborList {
+    std::vector<Neighbor> items;
+    size_t head = 0;
+
+    size_t size() const { return items.size() - head; }
+    void Append(Neighbor n) { items.push_back(n); }
+    void ExpireBefore(int64_t min_key);
+    // Counts retained neighbors with dist <= r and key >= min_key,
+    // stopping at stop_at.
+    int64_t CountWithin(double r, int64_t min_key, int64_t stop_at) const;
+    size_t MemoryBytes() const;
+  };
+
+  struct MicroCluster {
+    Point center;                                  // value copy
+    std::deque<std::pair<Seq, int64_t>> members;   // (seq, key), ascending
+    bool dissolved = false;
+  };
+
+  struct PointState {
+    int32_t cluster = -1;  // -1: dispersed (PD)
+    NeighborList list;
+  };
+
+  PointState& StateOf(Seq seq) {
+    return states_[static_cast<size_t>(seq - buffer_.first_seq())];
+  }
+  const PointState& StateOf(Seq seq) const {
+    return states_[static_cast<size_t>(seq - buffer_.first_seq())];
+  }
+
+  // The insertion range scan for new point `s` (see file comment).
+  void InsertPoint(Seq s);
+
+  Workload workload_;
+  Options options_;
+  DistanceFn dist_;
+  StreamBuffer buffer_;
+  std::unique_ptr<GridIndex> grid_;  // only with options_.use_grid_index
+  std::deque<PointState> states_;
+  std::vector<MicroCluster> clusters_;
+  double r_min_ = 0.0;
+  double r_max_ = 0.0;
+  int64_t k_max_ = 0;
+  int64_t win_max_ = 0;
+  size_t last_results_bytes_ = 0;
+  std::vector<Seq> scratch_close_;  // unclustered points within r_min/2
+  std::vector<std::pair<Seq, double>> scratch_candidates_;  // grid hits
+};
+
+}  // namespace sop
+
+#endif  // SOP_BASELINES_MCOD_H_

@@ -1,0 +1,48 @@
+// Fatal assertion macros used throughout libsop.
+//
+// The library does not use C++ exceptions (see DESIGN.md). Programming
+// errors and violated invariants abort the process with a diagnostic.
+// SOP_CHECK is always on; SOP_DCHECK compiles away in NDEBUG builds and is
+// reserved for hot-path invariants.
+
+#ifndef SOP_COMMON_CHECK_H_
+#define SOP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sop::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SOP_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sop::internal
+
+#define SOP_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::sop::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                \
+  } while (0)
+
+#define SOP_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::sop::internal::CheckFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define SOP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SOP_DCHECK(expr) SOP_CHECK(expr)
+#endif
+
+#endif  // SOP_COMMON_CHECK_H_

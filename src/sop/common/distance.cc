@@ -1,0 +1,96 @@
+#include "sop/common/distance.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sop/common/check.h"
+
+namespace sop {
+
+bool ParseMetric(const std::string& name, Metric* out) {
+  if (name == "euclidean") {
+    *out = Metric::kEuclidean;
+    return true;
+  }
+  if (name == "manhattan") {
+    *out = Metric::kManhattan;
+    return true;
+  }
+  return false;
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return "euclidean";
+    case Metric::kManhattan:
+      return "manhattan";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename DimIter>
+double EuclideanOver(const Point& a, const Point& b, DimIter begin,
+                     DimIter end) {
+  double sum = 0.0;
+  for (DimIter it = begin; it != end; ++it) {
+    const double d = a.values[*it] - b.values[*it];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+template <typename DimIter>
+double ManhattanOver(const Point& a, const Point& b, DimIter begin,
+                     DimIter end) {
+  double sum = 0.0;
+  for (DimIter it = begin; it != end; ++it) {
+    sum += std::abs(a.values[*it] - b.values[*it]);
+  }
+  return sum;
+}
+
+// Iterator yielding 0..n-1 without materializing the index vector, for the
+// full-space case.
+class CountingIter {
+ public:
+  explicit CountingIter(int i) : i_(i) {}
+  int operator*() const { return i_; }
+  CountingIter& operator++() {
+    ++i_;
+    return *this;
+  }
+  bool operator!=(const CountingIter& other) const { return i_ != other.i_; }
+
+ private:
+  int i_;
+};
+
+}  // namespace
+
+double DistanceFn::operator()(const Point& a, const Point& b) const {
+  SOP_DCHECK(a.values.size() == b.values.size());
+  if (attributes_.empty()) {
+    const int n = static_cast<int>(a.values.size());
+    switch (metric_) {
+      case Metric::kEuclidean:
+        return EuclideanOver(a, b, CountingIter(0), CountingIter(n));
+      case Metric::kManhattan:
+        return ManhattanOver(a, b, CountingIter(0), CountingIter(n));
+    }
+  } else {
+    SOP_DCHECK(static_cast<size_t>(attributes_.back()) < a.values.size());
+    switch (metric_) {
+      case Metric::kEuclidean:
+        return EuclideanOver(a, b, attributes_.begin(), attributes_.end());
+      case Metric::kManhattan:
+        return ManhattanOver(a, b, attributes_.begin(), attributes_.end());
+    }
+  }
+  SOP_CHECK_MSG(false, "unreachable metric");
+  return 0.0;
+}
+
+}  // namespace sop

@@ -1,0 +1,56 @@
+// Distance metrics between streaming points, including subspace variants.
+//
+// Distance-based outlier queries need a metric `dist_o(p, q)`; the paper
+// (and all our detectors) treat it as a black box. We provide Euclidean and
+// Manhattan over either the full attribute vector or a fixed attribute
+// subset (used by multi-attribute workloads, paper Fig. 10(b)).
+
+#ifndef SOP_COMMON_DISTANCE_H_
+#define SOP_COMMON_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "sop/common/point.h"
+
+namespace sop {
+
+/// Supported distance metrics.
+enum class Metric {
+  kEuclidean,
+  kManhattan,
+};
+
+/// Parses "euclidean" / "manhattan" (case-sensitive). Returns true on
+/// success and writes `*out`.
+bool ParseMetric(const std::string& name, Metric* out);
+
+/// Human-readable name of `metric`.
+const char* MetricName(Metric metric);
+
+/// A distance function over points: a metric plus an optional attribute
+/// subspace. An empty `attributes` list means "all attributes".
+///
+/// DistanceFn is a small value type; copy it freely. Distances are
+/// symmetric and non-negative. Both points must have at least
+/// max(attributes)+1 values (checked in debug builds).
+class DistanceFn {
+ public:
+  DistanceFn() = default;
+  explicit DistanceFn(Metric metric, std::vector<int> attributes = {})
+      : metric_(metric), attributes_(std::move(attributes)) {}
+
+  Metric metric() const { return metric_; }
+  const std::vector<int>& attributes() const { return attributes_; }
+
+  /// Computes dist_o(a, b).
+  double operator()(const Point& a, const Point& b) const;
+
+ private:
+  Metric metric_ = Metric::kEuclidean;
+  std::vector<int> attributes_;  // empty = full space
+};
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_DISTANCE_H_

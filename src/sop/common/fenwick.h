@@ -1,0 +1,59 @@
+// Fenwick (binary indexed) tree over 1-based positions, used for layer
+// cardinality bookkeeping in the SOP core.
+//
+// The paper's skyEvaluate maintains per-layer cardinalities and sums a
+// prefix per candidate (Alg. 2 lines 3-5, O(L)); a Fenwick tree implements
+// the identical bookkeeping in O(log L) per update/query, which matters
+// for workloads with thousands of distinct r values. Resets are done by
+// undoing updates so that reuse across points costs O(inserts log L), not
+// O(L).
+
+#ifndef SOP_COMMON_FENWICK_H_
+#define SOP_COMMON_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sop/common/check.h"
+
+namespace sop {
+
+/// Fenwick tree of int64 counts over positions 1..size.
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  explicit FenwickTree(int size) { Reset(size); }
+
+  /// Re-dimensions and zeroes the tree.
+  void Reset(int size) {
+    SOP_CHECK(size >= 0);
+    tree_.assign(static_cast<size_t>(size) + 1, 0);
+  }
+
+  int size() const { return static_cast<int>(tree_.size()) - 1; }
+
+  /// Adds `delta` at position `pos` (1-based).
+  void Add(int pos, int64_t delta) {
+    SOP_DCHECK(pos >= 1 && pos <= size());
+    for (; pos <= size(); pos += pos & -pos) {
+      tree_[static_cast<size_t>(pos)] += delta;
+    }
+  }
+
+  /// Sum of positions 1..pos (0 returns 0).
+  int64_t PrefixSum(int pos) const {
+    SOP_DCHECK(pos >= 0 && pos <= size());
+    int64_t sum = 0;
+    for (; pos > 0; pos -= pos & -pos) {
+      sum += tree_[static_cast<size_t>(pos)];
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_FENWICK_H_

@@ -1,0 +1,34 @@
+// Small arithmetic helpers shared across subsystems.
+
+#ifndef SOP_COMMON_MATH_UTIL_H_
+#define SOP_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sop/common/check.h"
+
+namespace sop {
+
+/// Greatest common divisor of all values; the *swift query* slide size
+/// (paper Sec. 4.2). Requires a non-empty list of positive values.
+inline int64_t GcdAll(const std::vector<int64_t>& values) {
+  SOP_CHECK(!values.empty());
+  int64_t g = 0;
+  for (int64_t v : values) {
+    SOP_CHECK_MSG(v > 0, "gcd requires positive values");
+    g = std::gcd(g, v);
+  }
+  return g;
+}
+
+/// Ceiling division for non-negative a, positive b.
+inline int64_t CeilDiv(int64_t a, int64_t b) {
+  SOP_DCHECK(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_MATH_UTIL_H_

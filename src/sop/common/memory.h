@@ -1,0 +1,39 @@
+// Helpers for estimating detector memory footprints.
+//
+// The paper's MEM metric is the memory holding the per-point evidence kept
+// by each algorithm (skyband points for SOP, neighbor lists for MCOD,
+// probing state for LEAP) plus the outlier sets of the current window. We
+// estimate it structurally (capacity x element size + container overhead)
+// rather than through a malloc hook so that the number is deterministic and
+// comparable across allocators.
+
+#ifndef SOP_COMMON_MEMORY_H_
+#define SOP_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace sop {
+
+/// Approximate heap bytes owned by a vector (excluding sizeof(v) itself).
+template <typename T>
+size_t VectorHeapBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Approximate heap bytes owned by a deque (excluding sizeof(d) itself).
+/// libstdc++ deques allocate fixed 512-byte blocks.
+template <typename T>
+size_t DequeHeapBytes(const std::deque<T>& d) {
+  constexpr size_t kBlockBytes = 512;
+  const size_t per_block = kBlockBytes / sizeof(T) > 0
+                               ? kBlockBytes / sizeof(T)
+                               : 1;
+  const size_t blocks = (d.size() + per_block - 1) / per_block + 1;
+  return blocks * kBlockBytes + blocks * sizeof(void*);
+}
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_MEMORY_H_

@@ -1,0 +1,38 @@
+// The streaming data point representation shared by every subsystem.
+
+#ifndef SOP_COMMON_POINT_H_
+#define SOP_COMMON_POINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sop {
+
+/// Arrival sequence number of a point. 0-based, strictly increasing in
+/// arrival order; this is the total temporal order used by all domination
+/// and succeeding-neighbor reasoning.
+using Seq = int64_t;
+
+/// Timestamp of a point in abstract time units (only used by time-based
+/// windows). Must be non-decreasing in arrival order.
+using Timestamp = int64_t;
+
+/// A multi-dimensional streaming tuple.
+///
+/// `seq` is assigned by the stream driver on arrival; `time` comes from the
+/// data source. `values` holds the numeric attributes outlier distance is
+/// computed over. Categorical source attributes must be mapped to numeric
+/// values upstream (see gen::SttGenerator for an example).
+struct Point {
+  Seq seq = 0;
+  Timestamp time = 0;
+  std::vector<double> values;
+
+  Point() = default;
+  Point(Seq s, Timestamp t, std::vector<double> v)
+      : seq(s), time(t), values(std::move(v)) {}
+};
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_POINT_H_

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for data/workload
+// generators and tests.
+//
+// We ship our own small generator (xoshiro256**) instead of <random>
+// engines so that streams are reproducible byte-for-byte across standard
+// library implementations — benchmark tables and failing test seeds must
+// mean the same thing on every machine.
+
+#ifndef SOP_COMMON_RANDOM_H_
+#define SOP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace sop {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Not cryptographic. Copyable; copies continue the same sequence
+/// independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no state cached across calls).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_RANDOM_H_

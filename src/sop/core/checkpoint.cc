@@ -1,0 +1,126 @@
+// Checkpoint save/restore for SopDetector (see sop_detector.h).
+//
+// Production stream jobs restart; the detector's state — the swift
+// window's points, every non-safe point's skyband and every point's
+// safety flag — is exactly what would otherwise take a full window of
+// replay to rebuild.
+
+#include "sop/common/serialize.h"
+#include "sop/core/sop_detector.h"
+
+namespace sop {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53'4f'50'43;  // "SOPC"
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+std::string SopDetector::SaveState() const {
+  BinaryWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kFormatVersion);
+  w.WriteU64(plan_.workload().Fingerprint());
+  w.WriteI64(last_boundary_);
+
+  // Alive points.
+  w.WriteI64(buffer_.first_seq());
+  w.WriteU64(buffer_.size());
+  for (Seq s = buffer_.first_seq(); s < buffer_.next_seq(); ++s) {
+    const Point& p = buffer_.At(s);
+    w.WriteI64(p.time);
+    w.WriteU32(static_cast<uint32_t>(p.values.size()));
+    for (const double v : p.values) w.WriteDouble(v);
+  }
+
+  // Per-point evidence.
+  for (Seq s = buffer_.first_seq(); s < buffer_.next_seq(); ++s) {
+    const PointState& st = StateOf(s);
+    w.WriteBool(st.evaluated);
+    w.WriteBool(st.safe);
+    w.WriteU64(st.skyband.size());
+    for (const SkybandEntry& e : st.skyband.entries()) {
+      w.WriteI64(e.seq);
+      w.WriteI64(e.key);
+      w.WriteU32(static_cast<uint32_t>(e.layer));
+    }
+  }
+
+  // Counters.
+  w.WriteI64(stats_.ksky_scans);
+  w.WriteI64(stats_.distances_computed);
+  w.WriteI64(stats_.candidates_examined);
+  w.WriteI64(stats_.early_terminations);
+  w.WriteI64(stats_.safe_points_discovered);
+  return w.TakeBytes();
+}
+
+bool SopDetector::LoadState(std::string_view bytes) {
+  SOP_CHECK_MSG(buffer_.empty() && last_boundary_ == INT64_MIN,
+                "LoadState requires a freshly constructed detector");
+  BinaryReader r(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t fingerprint = 0;
+  if (!r.ReadU32(&magic) || magic != kMagic) return false;
+  if (!r.ReadU32(&version) || version != kFormatVersion) return false;
+  if (!r.ReadU64(&fingerprint) ||
+      fingerprint != plan_.workload().Fingerprint()) {
+    return false;
+  }
+  if (!r.ReadI64(&last_boundary_)) return false;
+
+  int64_t first_seq = 0;
+  uint64_t count = 0;
+  if (!r.ReadI64(&first_seq) || !r.ReadU64(&count) || first_seq < 0) {
+    return false;
+  }
+  buffer_.ResetTo(first_seq);
+  received_any_ = true;
+  for (uint64_t i = 0; i < count; ++i) {
+    Point p;
+    p.seq = first_seq + static_cast<Seq>(i);
+    uint32_t dims = 0;
+    if (!r.ReadI64(&p.time) || !r.ReadU32(&dims)) return false;
+    p.values.resize(dims);
+    for (double& v : p.values) {
+      if (!r.ReadDouble(&v)) return false;
+    }
+    buffer_.Append(std::move(p));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    PointState st;
+    uint64_t entries = 0;
+    if (!r.ReadBool(&st.evaluated) || !r.ReadBool(&st.safe) ||
+        !r.ReadU64(&entries)) {
+      return false;
+    }
+    for (uint64_t e = 0; e < entries; ++e) {
+      SkybandEntry entry;
+      uint32_t layer = 0;
+      if (!r.ReadI64(&entry.seq) || !r.ReadI64(&entry.key) ||
+          !r.ReadU32(&layer)) {
+        return false;
+      }
+      if (layer < 1 || static_cast<int>(layer) > plan_.num_layers()) {
+        return false;
+      }
+      entry.layer = static_cast<int32_t>(layer);
+      st.skyband.Append(entry);
+    }
+    states_.push_back(std::move(st));
+  }
+
+  if (!r.ReadI64(&stats_.ksky_scans) ||
+      !r.ReadI64(&stats_.distances_computed) ||
+      !r.ReadI64(&stats_.candidates_examined) ||
+      !r.ReadI64(&stats_.early_terminations) ||
+      !r.ReadI64(&stats_.safe_points_discovered)) {
+    return false;
+  }
+  return r.AtEnd();
+}
+
+}  // namespace sop

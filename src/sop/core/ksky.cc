@@ -1,0 +1,135 @@
+#include "sop/core/ksky.h"
+
+#include <algorithm>
+
+#include "sop/common/check.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+
+KSky::KSky(const WorkloadPlan* plan, DistanceFn dist, Options options)
+    : plan_(plan), dist_(std::move(dist)), options_(options) {
+  SOP_CHECK(plan_ != nullptr);
+  layer_counts_.Reset(plan_->num_layers());
+}
+
+bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
+                         Seq batch_first_seq, int64_t swift_window_start,
+                         bool from_scratch, LSky* skyband) {
+  stats_ = KSkyScanStats{};
+  build_.Clear();
+  layer1_count_ = 0;
+
+  const WindowType type = buffer.type();
+  const int num_layers = plan_->num_layers();
+  bool keep_scanning = true;
+
+  // Scans buffer points with seq in [lo, hi) from newest to oldest,
+  // computing distances ("search from scratch" / the new-arrivals part of
+  // the incremental rescan).
+  auto scan_buffer_range = [&](Seq lo, Seq hi) {
+    for (Seq s = hi - 1; keep_scanning && s >= lo; --s) {
+      if (s == p.seq) continue;
+      const Point& c = buffer.At(s);
+      ++stats_.candidates_examined;
+      ++stats_.distances_computed;
+      const double d = dist_(p, c);
+      const int32_t layer = plan_->LayerOfDistance(d);
+      if (layer > num_layers) continue;  // nobody's neighbor (Def. 5 c3)
+      keep_scanning = Examine(s, PointKey(c, type), layer);
+    }
+  };
+
+  if (from_scratch) {
+    scan_buffer_range(buffer.first_seq(), buffer.next_seq());
+  } else {
+    SOP_DCHECK(p.seq < batch_first_seq);
+    skyband->ExpireBefore(swift_window_start);
+    // Least examination: new arrivals first (all newer than any previous
+    // skyband entry), then the surviving previous entries with their
+    // cached layers. Both sub-sequences are seq-descending, and so is
+    // their concatenation.
+    old_entries_.assign(skyband->entries().begin(), skyband->entries().end());
+    scan_buffer_range(batch_first_seq, buffer.next_seq());
+    if (build_.empty()) {
+      // No new arrival entered the skyband, so the previous entries'
+      // admission decisions replay unchanged (they were made against
+      // exactly these entries, newest-first, and expiry only removed the
+      // oldest — i.e., last-decided — ones). The expired skyband is
+      // already exact; skip the re-admission pass.
+      stats_.terminated_early = !keep_scanning;
+      return IsSafeForAll(p, *skyband);
+    }
+    for (const SkybandEntry& e : old_entries_) {
+      if (!keep_scanning) break;
+      ++stats_.candidates_examined;
+      keep_scanning = Examine(e.seq, e.key, e.layer);
+    }
+  }
+  stats_.terminated_early = !keep_scanning;
+
+  // Zero the layer table for the next point by undoing this point's
+  // inserts (cheaper than clearing L counters when the skyband is small).
+  for (const SkybandEntry& e : build_.entries()) {
+    layer_counts_.Add(e.layer, -1);
+  }
+
+  skyband->Swap(&build_);
+  return IsSafeForAll(p, *skyband);
+}
+
+bool KSky::Examine(Seq seq, int64_t key, int32_t layer) {
+  // skyEvaluate (Alg. 2): the dominated count is the number of kept points
+  // at layers <= `layer` — all of them are newer than this candidate.
+  const int64_t dominated = layer_counts_.PrefixSum(layer);
+  if (dominated >= plan_->k_max()) {
+    // Not a skyband point for any group. If it sits in the innermost
+    // layer, every remaining (older) candidate is dominated by the same
+    // k_max points, so the scan can stop (Alg. 1 lines 12-13).
+    return !(options_.early_termination && layer == 1);
+  }
+  if (options_.condition3_pruning &&
+      layer > plan_->MaxLayerForCount(dominated)) {
+    // Def. 6 condition 3: no group with k > dominated can use a point this
+    // far out. The scan continues: closer candidates may still qualify.
+    return true;
+  }
+  layer_counts_.Add(layer, 1);
+  if (layer == 1) ++layer1_count_;
+  build_.Append({seq, key, layer});
+  // Layer-1 saturation: see the termination discussion in ksky.h.
+  if (options_.early_termination && layer == 1 &&
+      layer1_count_ >= plan_->k_max()) {
+    return false;
+  }
+  return true;
+}
+
+bool KSky::IsSafeForAll(const Point& p, const LSky& skyband) const {
+  const auto& reqs = plan_->safety_requirements();
+  SOP_DCHECK(!reqs.empty());
+  // Succeeding entries form the leading (newest-first) prefix.
+  const auto& entries = skyband.entries();
+  // Count succeeding entries per requirement bucket: bucket i covers
+  // layers in (reqs[i-1].layer, reqs[i].layer].
+  req_counts_.assign(reqs.size(), 0);
+  for (const SkybandEntry& e : entries) {
+    if (e.seq <= p.seq) break;
+    // First requirement whose layer bound admits this entry.
+    const auto it = std::lower_bound(
+        reqs.begin(), reqs.end(), e.layer,
+        [](const WorkloadPlan::SafetyRequirement& r, int32_t layer) {
+          return r.layer < layer;
+        });
+    if (it == reqs.end()) continue;  // beyond every group's min layer
+    ++req_counts_[static_cast<size_t>(it - reqs.begin())];
+  }
+  int64_t prefix = 0;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    prefix += req_counts_[i];
+    if (prefix < reqs[i].k) return false;
+  }
+  return true;
+}
+
+}  // namespace sop

@@ -1,0 +1,28 @@
+#include "sop/core/lsky.h"
+
+namespace sop {
+
+size_t LSky::ExpireBefore(int64_t min_key) {
+  // Keys are non-increasing from front to back (descending seq), so the
+  // expired entries form a suffix.
+  size_t removed = 0;
+  while (!entries_.empty() && entries_.back().key < min_key) {
+    entries_.pop_back();
+    ++removed;
+  }
+  return removed;
+}
+
+int64_t LSky::CountWithin(int32_t max_layer, int64_t min_key,
+                          int64_t stop_at) const {
+  int64_t count = 0;
+  for (const SkybandEntry& e : entries_) {
+    if (e.key < min_key) break;  // older than the window: prefix ends
+    if (e.layer <= max_layer) {
+      if (++count >= stop_at) break;
+    }
+  }
+  return count;
+}
+
+}  // namespace sop

@@ -1,0 +1,96 @@
+// LSky: the layered skyband structure (paper Sec. 3.1.2, Fig. 2).
+//
+// For each evaluated point p, LSky stores the (k_max - 1)-skyband of the
+// current window under the domination relationship of Def. 5: the minimal
+// evidence needed to answer every query in the workload about p, in every
+// current and future window.
+//
+// Representation. The paper draws LSky as L layers (one per distinct r),
+// each ordered by arrival time. We store the same information as a single
+// flat array of (seq, key, layer) entries ordered by descending arrival
+// sequence, exploiting two facts:
+//   * K-SKY discovers skyband points in exactly that order ("last come,
+//     first served"), so construction is append-only;
+//   * keys are monotone in seq, so expiry pops from the tail and the
+//     "arrived inside window w" test selects a prefix.
+// The per-layer cardinalities the paper's skyEvaluate maintains live in the
+// KSky scanner's scratch state during construction (see ksky.h); after
+// construction, all status questions reduce to counting entries with
+// layer <= m in a key-bounded prefix.
+
+#ifndef SOP_CORE_LSKY_H_
+#define SOP_CORE_LSKY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sop/common/check.h"
+#include "sop/common/memory.h"
+#include "sop/common/point.h"
+
+namespace sop {
+
+/// One skyband point: which point it is (seq), its window-arithmetic key,
+/// and its normalized distance to the owner point (1-based layer, Def. 4).
+struct SkybandEntry {
+  Seq seq = 0;
+  int64_t key = 0;
+  int32_t layer = 0;
+
+  friend bool operator==(const SkybandEntry&, const SkybandEntry&) = default;
+};
+
+/// The skyband of one point. Entries are kept in descending seq order
+/// (newest first). Not thread-safe.
+class LSky {
+ public:
+  LSky() = default;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<SkybandEntry>& entries() const { return entries_; }
+
+  /// Drops all entries, keeping capacity for reuse across rebuilds.
+  void Clear() { entries_.clear(); }
+
+  /// Drops entries and releases memory (used when a point becomes a safe
+  /// inlier and its evidence is no longer needed).
+  void Release() {
+    entries_.clear();
+    entries_.shrink_to_fit();
+  }
+
+  /// Appends an entry. Must be called in strictly descending seq order.
+  void Append(const SkybandEntry& e) {
+    SOP_DCHECK(entries_.empty() || e.seq < entries_.back().seq);
+    entries_.push_back(e);
+  }
+
+  /// Removes entries whose key fell out of the swift window. Returns the
+  /// number removed.
+  size_t ExpireBefore(int64_t min_key);
+
+  /// Swaps contents with `other` (used to install a freshly built skyband
+  /// without copying).
+  void Swap(LSky* other) { entries_.swap(other->entries_); }
+
+  /// Counts entries with layer <= `max_layer` and key >= `min_key` — i.e.
+  /// p's known neighbors within r_{max_layer} that arrived inside the
+  /// window starting at `min_key`. Stops counting at `stop_at` (pass the
+  /// query's k: the caller only needs to know whether the count reaches
+  /// it). This is the generalized Lemma-3 status test; see ksky.h for why
+  /// it is exact.
+  int64_t CountWithin(int32_t max_layer, int64_t min_key,
+                      int64_t stop_at) const;
+
+  /// Approximate heap bytes held.
+  size_t MemoryBytes() const { return VectorHeapBytes(entries_); }
+
+ private:
+  std::vector<SkybandEntry> entries_;
+};
+
+}  // namespace sop
+
+#endif  // SOP_CORE_LSKY_H_

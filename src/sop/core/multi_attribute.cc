@@ -1,0 +1,25 @@
+#include "sop/core/multi_attribute.h"
+
+namespace sop {
+
+namespace {
+
+std::vector<int> AttributeSetKeys(const Workload& workload) {
+  std::vector<int> keys;
+  keys.reserve(workload.num_queries());
+  for (const OutlierQuery& q : workload.queries()) {
+    keys.push_back(q.attribute_set);
+  }
+  return keys;
+}
+
+}  // namespace
+
+MultiAttributeDetector::MultiAttributeDetector(
+    const Workload& workload, const ChildDetectorFactory& factory)
+    : PartitionedDetector("multiattr", workload, AttributeSetKeys(workload),
+                          factory) {
+  set_name(std::string("multiattr-") + child(0).name());
+}
+
+}  // namespace sop

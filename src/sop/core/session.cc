@@ -1,0 +1,109 @@
+#include "sop/core/session.h"
+
+#include <utility>
+
+#include "sop/common/check.h"
+#include "sop/common/memory.h"
+
+namespace sop {
+
+SopSession::SopSession(WindowType window_type, Metric metric,
+                       int64_t history_window)
+    : window_type_(window_type),
+      metric_(metric),
+      history_window_(history_window) {
+  SOP_CHECK_MSG(history_window_ > 0, "history window must be positive");
+}
+
+QueryId SopSession::AddQuery(const OutlierQuery& query) {
+  SOP_CHECK_MSG(query.attribute_set == 0,
+                "SopSession supports the full attribute space only");
+  Workload probe(window_type_, metric_);
+  probe.AddQuery(query);
+  SOP_CHECK_MSG(probe.Validate().empty(), probe.Validate().c_str());
+  const QueryId id = next_id_++;
+  registered_.emplace(id, query);
+  dirty_ = true;
+  return id;
+}
+
+bool SopSession::RemoveQuery(QueryId id) {
+  if (registered_.erase(id) == 0) return false;
+  dirty_ = true;
+  return true;
+}
+
+void SopSession::Rebuild(int64_t up_to_boundary) {
+  detector_.reset();
+  detector_query_ids_.clear();
+  dirty_ = false;
+  if (registered_.empty()) return;
+  Workload workload(window_type_, metric_);
+  for (const auto& [id, query] : registered_) {
+    workload.AddQuery(query);
+    detector_query_ids_.push_back(id);
+  }
+  detector_ = std::make_unique<SopDetector>(workload);
+  // Replay the retained history so freshly added queries see populated
+  // windows. Replay emissions are internal; only the final boundary's
+  // results matter to the caller, and the caller collects those from the
+  // Advance that triggered the rebuild.
+  for (const HistoryBatch& batch : history_) {
+    if (batch.boundary > up_to_boundary) break;
+    detector_->Advance(batch.points, batch.boundary);
+  }
+}
+
+std::vector<SessionResult> SopSession::Advance(std::vector<Point> batch,
+                                               int64_t boundary) {
+  SOP_CHECK_MSG(boundary > last_boundary_, "boundaries must increase");
+  last_boundary_ = boundary;
+  for (Point& p : batch) p.seq = next_seq_++;
+
+  // Retain the batch for future replays, then trim history that no window
+  // can reach anymore.
+  history_.push_back(HistoryBatch{batch, boundary});
+  while (!history_.empty() &&
+         history_.front().boundary <= boundary - history_window_) {
+    history_.pop_front();
+  }
+
+  std::vector<QueryResult> raw;
+  if (dirty_ || detector_ == nullptr) {
+    // Rebuild replays history including the batch just retained; the final
+    // replayed Advance is exactly this boundary, so re-run it to collect
+    // results. To avoid double-processing, replay up to the previous
+    // boundary and advance the new detector with the live batch.
+    const int64_t previous =
+        history_.size() >= 2 ? history_[history_.size() - 2].boundary
+                             : INT64_MIN;
+    Rebuild(previous);
+    if (detector_ == nullptr) return {};
+    raw = detector_->Advance(std::move(batch), boundary);
+  } else {
+    raw = detector_->Advance(std::move(batch), boundary);
+  }
+
+  std::vector<SessionResult> results;
+  results.reserve(raw.size());
+  for (QueryResult& r : raw) {
+    SessionResult sr;
+    sr.query_id = detector_query_ids_[r.query_index];
+    sr.boundary = r.boundary;
+    sr.outliers = std::move(r.outliers);
+    results.push_back(std::move(sr));
+  }
+  return results;
+}
+
+size_t SopSession::MemoryBytes() const {
+  size_t bytes = detector_ != nullptr ? detector_->MemoryBytes() : 0;
+  bytes += DequeHeapBytes(history_);
+  for (const HistoryBatch& b : history_) {
+    bytes += VectorHeapBytes(b.points);
+    for (const Point& p : b.points) bytes += VectorHeapBytes(p.values);
+  }
+  return bytes;
+}
+
+}  // namespace sop

@@ -1,0 +1,97 @@
+// SopSession: a long-running detection session whose workload can change
+// while the stream flows.
+//
+// The paper's motivating scenario has analysts submitting and retiring
+// outlier requests continuously, but SOP compiles the workload (layers,
+// k-groups, Def-6 table) up front. SopSession bridges the gap: it retains
+// the raw points of a configurable history window and, whenever the query
+// set changes, compiles a fresh SopDetector and replays the retained
+// history through it — so a freshly added query immediately sees a fully
+// populated window (up to the retention limit) instead of starting cold.
+//
+// Queries are addressed by stable ids that survive other queries'
+// removal; results carry those ids.
+
+#ifndef SOP_CORE_SESSION_H_
+#define SOP_CORE_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sop/core/sop_detector.h"
+#include "sop/query/workload.h"
+
+namespace sop {
+
+/// Stable identifier of a registered query within a session.
+using QueryId = int64_t;
+
+/// One emission of one registered query.
+struct SessionResult {
+  QueryId query_id = 0;
+  int64_t boundary = 0;
+  std::vector<Seq> outliers;
+};
+
+/// Dynamic multi-query outlier detection session. Not thread-safe.
+class SopSession {
+ public:
+  /// `history_window` bounds how much stream history (in window-key units)
+  /// is retained for replay when the workload changes; queries with larger
+  /// windows still work but start with partially populated windows after a
+  /// change. Pass the largest window you expect to register.
+  SopSession(WindowType window_type, Metric metric, int64_t history_window);
+
+  /// Registers a query; takes effect at the next Advance call. The query
+  /// must validate against an empty workload's rules (positive r/k/win/
+  /// slide; full attribute space only).
+  QueryId AddQuery(const OutlierQuery& query);
+
+  /// Unregisters a query. Returns false if the id is unknown.
+  bool RemoveQuery(QueryId id);
+
+  size_t num_queries() const { return registered_.size(); }
+
+  /// Feeds a batch ending at `boundary` (boundaries must be multiples of
+  /// every registered slide's gcd — use slide values with a common
+  /// quantum). Unlike OutlierDetector::Advance, the session assigns the
+  /// points' arrival sequence numbers itself (any incoming seq values are
+  /// overwritten); results refer to those assigned seqs, 0-based from the
+  /// session's first point. Returns the emissions of every registered
+  /// query due at `boundary`.
+  std::vector<SessionResult> Advance(std::vector<Point> batch,
+                                     int64_t boundary);
+
+  /// Approximate evidence + history bytes held.
+  size_t MemoryBytes() const;
+
+ private:
+  // Rebuilds detector_ from the registered queries and replays history.
+  void Rebuild(int64_t up_to_boundary);
+
+  WindowType window_type_;
+  Metric metric_;
+  int64_t history_window_;
+  QueryId next_id_ = 1;
+  std::map<QueryId, OutlierQuery> registered_;  // insertion-ordered by id
+  bool dirty_ = false;  // workload changed since detector_ was built
+
+  // Retained history: batches in arrival order with their boundaries.
+  struct HistoryBatch {
+    std::vector<Point> points;
+    int64_t boundary;
+  };
+  std::deque<HistoryBatch> history_;
+
+  std::unique_ptr<SopDetector> detector_;
+  std::vector<QueryId> detector_query_ids_;  // workload index -> id
+  int64_t last_boundary_ = INT64_MIN;
+  Seq next_seq_ = 0;
+};
+
+}  // namespace sop
+
+#endif  // SOP_CORE_SESSION_H_

@@ -1,0 +1,121 @@
+// SopDetector: the paper's SOP framework (Fig. 6 / Alg. 3) — the
+// sharing-aware multi-query outlier detector this repository reproduces.
+//
+// One swift skyband query answers the whole workload: per batch (one swift
+// slide), every alive, non-safe point gets one K-SKY scan that rebuilds its
+// LSky; at each emission boundary, each due query classifies each in-window
+// point with one thresholded count over that point's LSky. CPU is shared
+// (each point scanned once per slide for all queries) and memory is shared
+// (one skyband per point for all queries).
+
+#ifndef SOP_CORE_SOP_DETECTOR_H_
+#define SOP_CORE_SOP_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sop/core/ksky.h"
+#include "sop/core/lsky.h"
+#include "sop/detector/detector.h"
+#include "sop/query/plan.h"
+#include "sop/stream/stream_buffer.h"
+
+namespace sop {
+
+/// The SOP detector. Requires a workload whose queries share one attribute
+/// set (wrap with MultiAttributeDetector otherwise).
+class SopDetector : public OutlierDetector {
+ public:
+  /// Tuning knobs, defaulting to the paper's algorithm. The ablation bench
+  /// switches these off individually.
+  struct Options {
+    KSky::Options ksky;
+    /// Skip Safe-For-All inliers in every future batch (Alg. 3 line 2) and
+    /// release their evidence.
+    bool safe_inlier_pruning = true;
+  };
+
+  /// Cumulative counters exposed for tests and the ablation bench.
+  struct Stats {
+    int64_t ksky_scans = 0;
+    int64_t distances_computed = 0;
+    int64_t candidates_examined = 0;
+    int64_t early_terminations = 0;
+    int64_t safe_points_discovered = 0;
+  };
+
+  explicit SopDetector(const Workload& workload)
+      : SopDetector(workload, Options()) {}
+  SopDetector(const Workload& workload, Options options);
+
+  const char* name() const override { return "sop"; }
+  std::vector<QueryResult> Advance(std::vector<Point> batch,
+                                   int64_t boundary) override;
+  size_t MemoryBytes() const override;
+
+  const WorkloadPlan& plan() const { return plan_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Serializes the detector's full streaming state (alive points,
+  /// skybands, safety flags, counters) into a checkpoint blob. The
+  /// workload itself is not stored; restore requires an identically
+  /// configured detector (guarded by a workload fingerprint).
+  std::string SaveState() const;
+
+  /// Restores a checkpoint into a freshly constructed detector (no batches
+  /// advanced yet). Returns false — leaving the detector unusable — when
+  /// the blob is malformed, from a different format version, or from a
+  /// different workload. Processing resumes at the next boundary after the
+  /// checkpointed one.
+  bool LoadState(std::string_view bytes);
+
+  /// Test/debug accessors.
+  bool IsAliveForTesting(Seq seq) const { return buffer_.Contains(seq); }
+  bool IsSafeForTesting(Seq seq) const { return StateOf(seq).safe; }
+  const LSky& SkybandForTesting(Seq seq) const { return StateOf(seq).skyband; }
+
+ private:
+  // Per alive point bookkeeping, parallel to buffer_.
+  struct PointState {
+    LSky skyband;
+    bool evaluated = false;  // skyband valid (first scan done)
+    bool safe = false;       // Safe-For-All inlier
+  };
+
+  PointState& StateOf(Seq seq) {
+    return states_[static_cast<size_t>(seq - buffer_.first_seq())];
+  }
+  const PointState& StateOf(Seq seq) const {
+    return states_[static_cast<size_t>(seq - buffer_.first_seq())];
+  }
+
+  // One emitting query during the emission sweep.
+  struct EmittingQuery {
+    size_t query_index;
+    int64_t start;
+    int32_t layer;
+    int64_t k;
+    size_t result_slot;
+  };
+
+  WorkloadPlan plan_;
+  Options options_;
+  KSky ksky_;
+  StreamBuffer buffer_;
+  std::deque<PointState> states_;
+  Stats stats_;
+  int64_t last_boundary_ = INT64_MIN;
+  bool received_any_ = false;
+  size_t last_results_bytes_ = 0;
+  // Per-batch scratch.
+  std::vector<Seq> nonsafe_seqs_;
+  std::vector<EmittingQuery> emitting_;
+  FenwickTree emit_counts_;
+};
+
+}  // namespace sop
+
+#endif  // SOP_CORE_SOP_DETECTOR_H_

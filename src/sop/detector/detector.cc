@@ -1,0 +1,7 @@
+#include "sop/detector/detector.h"
+
+namespace sop {
+
+OutlierDetector::~OutlierDetector() = default;
+
+}  // namespace sop

@@ -1,0 +1,48 @@
+// StreamDriver: feeds a stream through a detector with the normative batch
+// and emission schedule, timing each batch and tracking peak memory.
+//
+// This plays the role the HP CHAOS stream engine played in the paper's
+// experimental setup: windowing, scheduling and measurement around the
+// detection algorithm under test.
+
+#ifndef SOP_DETECTOR_DRIVER_H_
+#define SOP_DETECTOR_DRIVER_H_
+
+#include <functional>
+
+#include "sop/detector/detector.h"
+#include "sop/detector/metrics.h"
+#include "sop/query/workload.h"
+#include "sop/stream/source.h"
+
+namespace sop {
+
+/// Callback receiving every QueryResult as it is produced. May be null.
+using ResultSink = std::function<void(const QueryResult&)>;
+
+/// Drives `detector` over `source` under `workload`'s window semantics.
+///
+/// Batch boundaries are multiples of the workload slide gcd. For
+/// count-based workloads, one batch per gcd points; the trailing partial
+/// batch (stream length not a multiple of the gcd) is never emitted. For
+/// time-based workloads, batches cover gcd-sized time spans; empty spans
+/// still advance the windows, and the run ends at the first boundary
+/// covering the last point.
+///
+/// Detector CPU time is measured around Advance() only; source decoding
+/// and result sinking are excluded.
+RunMetrics RunStream(const Workload& workload, StreamSource* source,
+                     OutlierDetector* detector, const ResultSink& sink = {});
+
+/// Convenience overload over an in-memory stream.
+RunMetrics RunStream(const Workload& workload, std::vector<Point> points,
+                     OutlierDetector* detector, const ResultSink& sink = {});
+
+/// Runs the stream and collects every result (test helper).
+std::vector<QueryResult> CollectResults(const Workload& workload,
+                                        std::vector<Point> points,
+                                        OutlierDetector* detector);
+
+}  // namespace sop
+
+#endif  // SOP_DETECTOR_DRIVER_H_

@@ -1,0 +1,118 @@
+#include "sop/detector/factory.h"
+
+#include <set>
+
+#include "sop/baselines/leap.h"
+#include "sop/baselines/mcod.h"
+#include "sop/baselines/naive.h"
+#include "sop/common/check.h"
+#include "sop/core/grouped_sop.h"
+#include "sop/core/multi_attribute.h"
+
+namespace sop {
+
+bool ParseDetectorKind(const std::string& name, DetectorKind* out) {
+  if (name == "sop") {
+    *out = DetectorKind::kSop;
+    return true;
+  }
+  if (name == "grouped-sop") {
+    *out = DetectorKind::kGroupedSop;
+    return true;
+  }
+  if (name == "leap") {
+    *out = DetectorKind::kLeap;
+    return true;
+  }
+  if (name == "mcod") {
+    *out = DetectorKind::kMcod;
+    return true;
+  }
+  if (name == "mcod-grid") {
+    *out = DetectorKind::kMcodGrid;
+    return true;
+  }
+  if (name == "naive") {
+    *out = DetectorKind::kNaive;
+    return true;
+  }
+  return false;
+}
+
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kSop:
+      return "sop";
+    case DetectorKind::kGroupedSop:
+      return "grouped-sop";
+    case DetectorKind::kLeap:
+      return "leap";
+    case DetectorKind::kMcod:
+      return "mcod";
+    case DetectorKind::kMcodGrid:
+      return "mcod-grid";
+    case DetectorKind::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool UsesMultipleAttributeSets(const Workload& workload) {
+  std::set<int> sets;
+  for (const OutlierQuery& q : workload.queries()) sets.insert(q.attribute_set);
+  return sets.size() > 1;
+}
+
+// Wraps `make_child` in a MultiAttributeDetector when the workload mixes
+// attribute sets; otherwise builds the child directly.
+std::unique_ptr<OutlierDetector> MaybeSplitByAttributes(
+    const Workload& workload, const ChildDetectorFactory& make_child) {
+  if (UsesMultipleAttributeSets(workload)) {
+    return std::make_unique<MultiAttributeDetector>(workload, make_child);
+  }
+  return make_child(workload);
+}
+
+}  // namespace
+
+std::unique_ptr<OutlierDetector> CreateDetector(
+    DetectorKind kind, const Workload& workload,
+    const SopDetector::Options* sop_options) {
+  const SopDetector::Options options =
+      sop_options != nullptr ? *sop_options : SopDetector::Options{};
+  switch (kind) {
+    case DetectorKind::kSop:
+      return MaybeSplitByAttributes(workload, [options](const Workload& sub) {
+        return std::make_unique<SopDetector>(sub, options);
+      });
+    case DetectorKind::kGroupedSop:
+      return MaybeSplitByAttributes(
+          workload,
+          [options](const Workload& sub)
+              -> std::unique_ptr<OutlierDetector> {
+            return std::make_unique<GroupedSopDetector>(sub, options);
+          });
+    case DetectorKind::kLeap:
+      return std::make_unique<LeapDetector>(workload);
+    case DetectorKind::kMcod:
+      return MaybeSplitByAttributes(
+          workload, [](const Workload& sub) -> std::unique_ptr<OutlierDetector> {
+            return std::make_unique<McodDetector>(sub);
+          });
+    case DetectorKind::kMcodGrid:
+      return MaybeSplitByAttributes(
+          workload, [](const Workload& sub) -> std::unique_ptr<OutlierDetector> {
+            McodDetector::Options mcod_options;
+            mcod_options.use_grid_index = true;
+            return std::make_unique<McodDetector>(sub, mcod_options);
+          });
+    case DetectorKind::kNaive:
+      return std::make_unique<NaiveDetector>(workload);
+  }
+  SOP_CHECK_MSG(false, "unknown detector kind");
+  return nullptr;
+}
+
+}  // namespace sop

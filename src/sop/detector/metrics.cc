@@ -1,0 +1,39 @@
+#include "sop/detector/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sop {
+
+std::string RunMetrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "batches=%lld cpu/window=%.3fms peak_mem=%.2fMB "
+                "emissions=%llu outliers=%llu points=%lld",
+                static_cast<long long>(num_batches), avg_cpu_ms_per_window,
+                static_cast<double>(peak_memory_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(total_emissions),
+                static_cast<unsigned long long>(total_outliers),
+                static_cast<long long>(total_points));
+  return buf;
+}
+
+void MetricsAccumulator::RecordBatch(double cpu_ms, size_t memory_bytes,
+                                     uint64_t emissions, uint64_t outliers) {
+  ++metrics_.num_batches;
+  metrics_.total_cpu_ms += cpu_ms;
+  metrics_.peak_memory_bytes =
+      std::max(metrics_.peak_memory_bytes, memory_bytes);
+  metrics_.total_emissions += emissions;
+  metrics_.total_outliers += outliers;
+}
+
+RunMetrics MetricsAccumulator::Finish() {
+  if (metrics_.num_batches > 0) {
+    metrics_.avg_cpu_ms_per_window =
+        metrics_.total_cpu_ms / static_cast<double>(metrics_.num_batches);
+  }
+  return metrics_;
+}
+
+}  // namespace sop

@@ -1,0 +1,50 @@
+// Run metrics collected by the stream driver: the paper's two evaluation
+// metrics (average CPU time per window, peak memory) plus bookkeeping.
+
+#ifndef SOP_DETECTOR_METRICS_H_
+#define SOP_DETECTOR_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sop {
+
+/// Aggregated metrics for one detector run over one stream.
+struct RunMetrics {
+  /// Number of swift-window slides (batches) processed.
+  int64_t num_batches = 0;
+  /// Total detector CPU time across all batches, milliseconds.
+  double total_cpu_ms = 0.0;
+  /// The paper's CPU metric: average processing time per window (ms).
+  double avg_cpu_ms_per_window = 0.0;
+  /// The paper's MEM metric: peak evidence memory across batches (bytes).
+  size_t peak_memory_bytes = 0;
+  /// Total number of (query, boundary) emissions produced.
+  uint64_t total_emissions = 0;
+  /// Total outlier reports summed over all emissions.
+  uint64_t total_outliers = 0;
+  /// Total points consumed from the source.
+  int64_t total_points = 0;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Incremental accumulator used by the driver.
+class MetricsAccumulator {
+ public:
+  void RecordBatch(double cpu_ms, size_t memory_bytes, uint64_t emissions,
+                   uint64_t outliers);
+  void RecordPoints(int64_t n) { metrics_.total_points += n; }
+
+  /// Finalizes averages and returns the metrics.
+  RunMetrics Finish();
+
+ private:
+  RunMetrics metrics_;
+};
+
+}  // namespace sop
+
+#endif  // SOP_DETECTOR_METRICS_H_

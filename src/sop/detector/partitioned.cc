@@ -1,0 +1,61 @@
+#include "sop/detector/partitioned.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sop/common/check.h"
+
+namespace sop {
+
+PartitionedDetector::PartitionedDetector(
+    std::string name, const Workload& workload,
+    const std::vector<int>& partition_keys, const ChildDetectorFactory& factory)
+    : name_(std::move(name)) {
+  SOP_CHECK_MSG(workload.Validate().empty(), workload.Validate().c_str());
+  SOP_CHECK(partition_keys.size() == workload.num_queries());
+  std::map<int, std::vector<size_t>> partitions;
+  for (size_t i = 0; i < workload.num_queries(); ++i) {
+    partitions[partition_keys[i]].push_back(i);
+  }
+  for (auto& [key, indices] : partitions) {
+    Workload sub = workload;
+    sub.ClearQueries();
+    for (size_t gi : indices) sub.AddQuery(workload.query(gi));
+    Child child;
+    child.detector = factory(sub);
+    SOP_CHECK(child.detector != nullptr);
+    child.local_to_global = std::move(indices);
+    children_.push_back(std::move(child));
+  }
+}
+
+std::vector<QueryResult> PartitionedDetector::Advance(std::vector<Point> batch,
+                                                      int64_t boundary) {
+  std::vector<QueryResult> merged;
+  for (size_t c = 0; c < children_.size(); ++c) {
+    Child& child = children_[c];
+    // The last child consumes the batch; the rest copy it.
+    std::vector<Point> feed =
+        c + 1 == children_.size() ? std::move(batch) : batch;
+    std::vector<QueryResult> results =
+        child.detector->Advance(std::move(feed), boundary);
+    for (QueryResult& r : results) {
+      r.query_index = child.local_to_global[r.query_index];
+      merged.push_back(std::move(r));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              return a.query_index < b.query_index;
+            });
+  return merged;
+}
+
+size_t PartitionedDetector::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Child& child : children_) bytes += child.detector->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sop

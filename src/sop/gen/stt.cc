@@ -1,0 +1,108 @@
+#include "sop/gen/stt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sop/common/check.h"
+
+namespace sop {
+namespace gen {
+
+namespace {
+
+// U-shaped intraday intensity: trading is busiest at the open and close.
+// Maps a uniform draw to a session fraction with that density via a simple
+// accept-adjust transform (quadratic bathtub).
+double UShapedFraction(Rng* rng) {
+  for (;;) {
+    const double x = rng->UniformDouble();
+    const double density = 0.4 + 2.4 * (x - 0.5) * (x - 0.5);  // in [0.4, 1.0]
+    if (rng->UniformDouble() < density) return x;
+  }
+}
+
+}  // namespace
+
+SttSource::SttSource(int64_t n, const SttOptions& options)
+    : options_(options), rng_(options.seed), remaining_(n), total_(n) {
+  SOP_CHECK(options_.num_symbols > 0);
+  SOP_CHECK(options_.session_seconds > 0);
+  symbols_.reserve(static_cast<size_t>(options_.num_symbols));
+  for (int s = 0; s < options_.num_symbols; ++s) {
+    Symbol sym;
+    // Opening prices spread log-uniformly between $5 and $500.
+    sym.log_price = std::log(5.0) +
+                    rng_.UniformDouble() * (std::log(500.0) - std::log(5.0));
+    sym.base_volume = std::exp(rng_.Normal(5.0, 1.0));  // ~150 shares median
+    symbols_.push_back(sym);
+  }
+  price_lo_ = std::log(1.0);
+  price_hi_ = std::log(1000.0);
+}
+
+bool SttSource::Next(Point* out) {
+  if (remaining_ <= 0) return false;
+  --remaining_;
+
+  // Arrival times: sorted U-shaped sample approximated by pacing the
+  // session proportionally to the trade index, with the bathtub transform
+  // applied to local jitter. Timestamps must be non-decreasing, so we pace
+  // deterministically and jitter within the step.
+  const double base_frac =
+      static_cast<double>(index_) / static_cast<double>(std::max<int64_t>(total_, 1));
+  const double jitter = UShapedFraction(&rng_) /
+                        static_cast<double>(std::max<int64_t>(total_, 1));
+  const double frac = std::min(base_frac + jitter, 1.0);
+  out->seq = 0;
+  out->time = static_cast<Timestamp>(frac *
+                                     static_cast<double>(options_.session_seconds));
+  ++index_;
+
+  Symbol& sym =
+      symbols_[static_cast<size_t>(rng_.NextBelow(symbols_.size()))];
+  // Geometric Brownian price step.
+  sym.log_price += rng_.Normal(0.0, options_.volatility);
+  sym.log_price = std::clamp(sym.log_price, price_lo_, price_hi_);
+
+  double log_price = sym.log_price;
+  double volume = sym.base_volume * std::exp(rng_.Normal(0.0, 0.6));
+  if (rng_.Bernoulli(options_.anomaly_rate)) {
+    if (rng_.Bernoulli(0.5)) {
+      // Block trade: volume far above anything normal.
+      volume *= std::exp(rng_.UniformDouble(3.0, 6.0));
+    } else {
+      // Price spike: fat-finger style deviation (not persisted into the
+      // symbol's walk).
+      log_price += rng_.UniformDouble(-1.5, 1.5);
+    }
+  }
+
+  // Scale attributes into [0, value_scale].
+  const double price_frac =
+      (std::clamp(log_price, price_lo_, price_hi_) - price_lo_) /
+      (price_hi_ - price_lo_);
+  const double volume_frac =
+      std::clamp(std::log1p(volume) / std::log(1e6), 0.0, 1.0);
+  out->values.clear();
+  out->values.push_back(price_frac * options_.value_scale);
+  out->values.push_back(volume_frac * options_.value_scale);
+  if (options_.include_symbol_attribute) {
+    out->values.push_back(
+        options_.value_scale *
+        (static_cast<double>(&sym - symbols_.data()) /
+         static_cast<double>(symbols_.size())));
+  }
+  return true;
+}
+
+std::vector<Point> GenerateStt(int64_t n, const SttOptions& options) {
+  SttSource source(n, options);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(n));
+  Point p;
+  while (source.Next(&p)) points.push_back(p);
+  return points;
+}
+
+}  // namespace gen
+}  // namespace sop

@@ -1,0 +1,77 @@
+// STT-like stock trade trace generator.
+//
+// The paper's real dataset — Stock Trading Traces from inetats.com, one
+// million transaction records over a single trading day with schema
+// (name, transId, time, volume, price, type) — is no longer distributed.
+// This generator synthesizes a stream with the same schema and the
+// statistical features the detection algorithms are sensitive to (see
+// DESIGN.md Sec. 6): per-symbol geometric-Brownian price paths, log-normal
+// volumes, U-shaped intraday arrival intensity, and occasional anomalies
+// (block trades, price spikes) at a small rate.
+//
+// Emitted points: time = seconds since session open scaled to the trading
+// day; values = {scaled price, scaled volume} (plus the symbol id as an
+// extra attribute when `include_symbol_attribute` is set). Values are
+// scaled into [0, value_scale] so the paper's r range [200, 2000) is
+// meaningful.
+
+#ifndef SOP_GEN_STT_H_
+#define SOP_GEN_STT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sop/common/point.h"
+#include "sop/common/random.h"
+#include "sop/stream/source.h"
+
+namespace sop {
+namespace gen {
+
+struct SttOptions {
+  /// Number of traded symbols.
+  int num_symbols = 50;
+  /// Trading session length in seconds (6.5 hours).
+  int64_t session_seconds = 23400;
+  /// Target attribute domain: prices and volumes are scaled into
+  /// [0, value_scale].
+  double value_scale = 10000.0;
+  /// Per-trade fraction of anomalous trades (block trades / price spikes).
+  double anomaly_rate = 0.02;
+  /// Per-step volatility of the per-symbol price random walk.
+  double volatility = 0.0004;
+  /// Add the symbol id (scaled) as a third attribute.
+  bool include_symbol_attribute = false;
+  uint64_t seed = 7;
+};
+
+/// Materializes `n` trades (tests / small runs).
+std::vector<Point> GenerateStt(int64_t n, const SttOptions& options);
+
+/// Streaming source producing `n` trades lazily.
+class SttSource : public StreamSource {
+ public:
+  SttSource(int64_t n, const SttOptions& options);
+
+  bool Next(Point* out) override;
+
+ private:
+  struct Symbol {
+    double log_price;  // random walk state
+    double base_volume;
+  };
+
+  SttOptions options_;
+  Rng rng_;
+  std::vector<Symbol> symbols_;
+  int64_t remaining_;
+  int64_t total_;
+  int64_t index_ = 0;
+  double price_lo_;
+  double price_hi_;
+};
+
+}  // namespace gen
+}  // namespace sop
+
+#endif  // SOP_GEN_STT_H_

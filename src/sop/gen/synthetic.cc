@@ -1,0 +1,73 @@
+#include "sop/gen/synthetic.h"
+
+#include <cmath>
+
+#include "sop/common/check.h"
+
+namespace sop {
+namespace gen {
+
+SyntheticSource::SyntheticSource(int64_t n, const SyntheticOptions& options)
+    : options_(options), rng_(options.seed), remaining_(n) {
+  SOP_CHECK(options_.dimensions > 0);
+  SOP_CHECK(options_.num_clusters > 0);
+  SOP_CHECK(options_.outlier_rate >= 0.0 && options_.outlier_rate <= 1.0);
+  SOP_CHECK(options_.domain_lo < options_.domain_hi);
+  // Cluster centers: evenly placed in the middle band of the domain so the
+  // Gaussian mass stays inside it.
+  const double span = options_.domain_hi - options_.domain_lo;
+  for (int c = 0; c < options_.num_clusters; ++c) {
+    std::vector<double> center(static_cast<size_t>(options_.dimensions));
+    const double frac =
+        (static_cast<double>(c) + 1.0) /
+        (static_cast<double>(options_.num_clusters) + 1.0);
+    for (double& v : center) {
+      v = options_.domain_lo + span * frac;
+    }
+    // Offset non-first dimensions per cluster so centers are not colinear.
+    for (size_t d = 1; d < center.size(); ++d) {
+      center[d] = options_.domain_lo +
+                  span * ((frac + 0.37 * static_cast<double>(d) +
+                           0.19 * static_cast<double>(c)) -
+                          std::floor(frac + 0.37 * static_cast<double>(d) +
+                                     0.19 * static_cast<double>(c)));
+    }
+    centers_.push_back(std::move(center));
+  }
+}
+
+bool SyntheticSource::Next(Point* out) {
+  if (remaining_ <= 0) return false;
+  --remaining_;
+  out->seq = 0;  // assigned by the driver
+  out->time = index_ * options_.time_step;
+  ++index_;
+  out->values.resize(static_cast<size_t>(options_.dimensions));
+  if (rng_.Bernoulli(options_.outlier_rate)) {
+    // Outlier candidate: uniform over the whole domain.
+    for (double& v : out->values) {
+      v = rng_.UniformDouble(options_.domain_lo, options_.domain_hi);
+    }
+  } else {
+    // Inlier candidate: one of the Gaussian clusters.
+    const auto& center =
+        centers_[static_cast<size_t>(rng_.NextBelow(centers_.size()))];
+    for (size_t d = 0; d < out->values.size(); ++d) {
+      out->values[d] = rng_.Normal(center[d], options_.cluster_stddev);
+    }
+  }
+  return true;
+}
+
+std::vector<Point> GenerateSynthetic(int64_t n,
+                                     const SyntheticOptions& options) {
+  SyntheticSource source(n, options);
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(n));
+  Point p;
+  while (source.Next(&p)) points.push_back(p);
+  return points;
+}
+
+}  // namespace gen
+}  // namespace sop

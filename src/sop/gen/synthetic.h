@@ -1,0 +1,61 @@
+// Synthetic stream generator matching the paper's synthetic dataset
+// (Sec. 6.1): Gaussian-distributed inlier candidates mixed with
+// uniform-distributed outliers, the latter randomly spread over every time
+// segment of the stream, at a small (< 5%) rate.
+
+#ifndef SOP_GEN_SYNTHETIC_H_
+#define SOP_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sop/common/point.h"
+#include "sop/common/random.h"
+#include "sop/stream/source.h"
+
+namespace sop {
+namespace gen {
+
+/// Parameters of the Gaussian + uniform mixture. Defaults are sized so the
+/// paper's r range [200, 2000) is meaningful: inliers have dozens-to-
+/// hundreds of neighbors within small r, uniform outliers almost none.
+struct SyntheticOptions {
+  int dimensions = 2;
+  /// Number of Gaussian inlier clusters, spread evenly over the domain.
+  int num_clusters = 3;
+  /// Standard deviation of each Gaussian cluster, per dimension. The
+  /// default keeps clusters dense enough that points accumulate the
+  /// paper's k range of neighbors within its r range quickly.
+  double cluster_stddev = 200.0;
+  /// Fraction of points drawn from the uniform outlier distribution.
+  double outlier_rate = 0.03;
+  /// Domain of the uniform distribution (and of the cluster centers).
+  double domain_lo = 0.0;
+  double domain_hi = 10000.0;
+  /// Timestamp increment between consecutive points.
+  int64_t time_step = 1;
+  uint64_t seed = 42;
+};
+
+/// Materializes `n` points (small streams / tests).
+std::vector<Point> GenerateSynthetic(int64_t n, const SyntheticOptions& options);
+
+/// Streaming source producing `n` points lazily (large benches).
+class SyntheticSource : public StreamSource {
+ public:
+  SyntheticSource(int64_t n, const SyntheticOptions& options);
+
+  bool Next(Point* out) override;
+
+ private:
+  SyntheticOptions options_;
+  std::vector<std::vector<double>> centers_;
+  Rng rng_;
+  int64_t remaining_;
+  int64_t index_ = 0;
+};
+
+}  // namespace gen
+}  // namespace sop
+
+#endif  // SOP_GEN_SYNTHETIC_H_

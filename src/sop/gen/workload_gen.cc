@@ -1,0 +1,75 @@
+#include "sop/gen/workload_gen.h"
+
+#include <algorithm>
+
+#include "sop/common/check.h"
+#include "sop/common/random.h"
+
+namespace sop {
+namespace gen {
+
+bool ParseWorkloadCase(const std::string& name, WorkloadCase* out) {
+  if (name.size() != 1) return false;
+  const char c = name[0];
+  if (c < 'A' || c > 'G') return false;
+  *out = static_cast<WorkloadCase>(c - 'A');
+  return true;
+}
+
+namespace {
+
+bool VariesR(WorkloadCase c) {
+  return c == WorkloadCase::kA || c == WorkloadCase::kC ||
+         c == WorkloadCase::kG;
+}
+bool VariesK(WorkloadCase c) {
+  return c == WorkloadCase::kB || c == WorkloadCase::kC ||
+         c == WorkloadCase::kG;
+}
+bool VariesWin(WorkloadCase c) {
+  return c == WorkloadCase::kD || c == WorkloadCase::kF ||
+         c == WorkloadCase::kG;
+}
+bool VariesSlide(WorkloadCase c) {
+  return c == WorkloadCase::kE || c == WorkloadCase::kF ||
+         c == WorkloadCase::kG;
+}
+
+// Draws a window/slide value quantized to `quantum` within [lo, hi).
+int64_t DrawQuantized(Rng* rng, int64_t lo, int64_t hi, int64_t quantum) {
+  SOP_CHECK(lo >= quantum && hi > lo);
+  const int64_t lo_q = (lo + quantum - 1) / quantum;
+  const int64_t hi_q = std::max(lo_q + 1, hi / quantum);
+  return rng->UniformInt(lo_q, hi_q - 1) * quantum;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(WorkloadCase wcase, size_t num_queries,
+                          WindowType window_type,
+                          const WorkloadGenOptions& options) {
+  SOP_CHECK(num_queries > 0);
+  Rng rng(options.seed);
+  Workload workload(window_type);
+  for (size_t i = 0; i < num_queries; ++i) {
+    OutlierQuery q;
+    q.r = VariesR(wcase) ? rng.UniformDouble(options.r_lo, options.r_hi)
+                         : options.r_fixed;
+    q.k = VariesK(wcase) ? rng.UniformInt(options.k_lo, options.k_hi - 1)
+                         : options.k_fixed;
+    q.win = VariesWin(wcase)
+                ? DrawQuantized(&rng, options.win_lo, options.win_hi,
+                                options.slide_quantum)
+                : options.win_fixed;
+    q.slide = VariesSlide(wcase)
+                  ? DrawQuantized(&rng, options.slide_lo, options.slide_hi,
+                                  options.slide_quantum)
+                  : options.slide_fixed;
+    workload.AddQuery(q);
+  }
+  SOP_CHECK_MSG(workload.Validate().empty(), workload.Validate().c_str());
+  return workload;
+}
+
+}  // namespace gen
+}  // namespace sop

@@ -1,0 +1,59 @@
+// Random workload generators for the paper's evaluation matrix
+// (Table 1 cases (A)-(G) with the Table 2 parameter ranges).
+
+#ifndef SOP_GEN_WORKLOAD_GEN_H_
+#define SOP_GEN_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sop/query/workload.h"
+
+namespace sop {
+namespace gen {
+
+/// Which parameters vary (Table 1). Fixed parameters use the *_fixed
+/// values below; varying ones are drawn uniformly from [lo, hi).
+enum class WorkloadCase {
+  kA,  // arbitrary R
+  kB,  // arbitrary K
+  kC,  // arbitrary K and R
+  kD,  // arbitrary Win
+  kE,  // arbitrary Slide
+  kF,  // arbitrary Win and Slide
+  kG,  // all four arbitrary
+};
+
+/// Parses "A".."G". Returns true on success.
+bool ParseWorkloadCase(const std::string& name, WorkloadCase* out);
+
+/// Parameter ranges (paper Table 2) and fixed values (paper Sec. 6.2/6.3).
+/// Window and slide draws are quantized to `slide_quantum` so the swift
+/// slide (the gcd) stays meaningful; the paper's slide range itself starts
+/// at the 50-unit granularity.
+struct WorkloadGenOptions {
+  double r_lo = 200.0;
+  double r_hi = 2000.0;
+  int64_t k_lo = 30;
+  int64_t k_hi = 1500;
+  int64_t win_lo = 1000;
+  int64_t win_hi = 500000;
+  int64_t slide_lo = 50;
+  int64_t slide_hi = 50000;
+  double r_fixed = 700.0;
+  int64_t k_fixed = 30;
+  int64_t win_fixed = 10000;
+  int64_t slide_fixed = 500;
+  int64_t slide_quantum = 50;
+  uint64_t seed = 42;
+};
+
+/// Generates `num_queries` random queries for `wcase`.
+Workload GenerateWorkload(WorkloadCase wcase, size_t num_queries,
+                          WindowType window_type,
+                          const WorkloadGenOptions& options);
+
+}  // namespace gen
+}  // namespace sop
+
+#endif  // SOP_GEN_WORKLOAD_GEN_H_

@@ -1,0 +1,115 @@
+#include "sop/io/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sop {
+namespace io {
+
+namespace {
+
+bool FormatError(std::string* error, size_t line, const char* what) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "line %zu: %s", line, what);
+  *error = buf;
+  return false;
+}
+
+}  // namespace
+
+bool ParsePointsCsv(const std::string& text, std::vector<Point>* out,
+                    std::string* error) {
+  out->clear();
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t expected_dims = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    Point p;
+    const char* cursor = line.c_str();
+    char* end = nullptr;
+    errno = 0;
+    p.time = std::strtoll(cursor, &end, 10);
+    if (end == cursor || errno != 0) {
+      return FormatError(error, line_no, "bad timestamp");
+    }
+    cursor = end;
+    while (*cursor != '\0') {
+      if (*cursor != ',') {
+        return FormatError(error, line_no, "expected ','");
+      }
+      ++cursor;
+      errno = 0;
+      const double v = std::strtod(cursor, &end);
+      if (end == cursor || errno != 0) {
+        return FormatError(error, line_no, "bad attribute value");
+      }
+      p.values.push_back(v);
+      cursor = end;
+    }
+    if (p.values.empty()) {
+      return FormatError(error, line_no, "point has no attributes");
+    }
+    if (expected_dims == 0) {
+      expected_dims = p.values.size();
+    } else if (p.values.size() != expected_dims) {
+      return FormatError(error, line_no, "inconsistent attribute count");
+    }
+    if (!out->empty() && p.time < out->back().time) {
+      return FormatError(error, line_no, "timestamps must be non-decreasing");
+    }
+    p.seq = static_cast<Seq>(out->size());
+    out->push_back(std::move(p));
+  }
+  return true;
+}
+
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* out,
+                   std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParsePointsCsv(buffer.str(), out, error);
+}
+
+std::string FormatPointsCsv(const std::vector<Point>& points) {
+  std::ostringstream out;
+  char buf[64];
+  for (const Point& p : points) {
+    out << p.time;
+    for (double v : p.values) {
+      std::snprintf(buf, sizeof(buf), ",%.17g", v);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& points,
+                   std::string* error) {
+  std::ofstream file(path);
+  if (!file) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  file << FormatPointsCsv(points);
+  if (!file) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace io
+}  // namespace sop

@@ -1,0 +1,37 @@
+// CSV ingestion and export of point streams.
+//
+// Format: one point per line, `time,v1,v2,...` with a fixed number of
+// attribute columns. Lines starting with '#' and blank lines are ignored.
+// No exceptions: loaders report problems through an error string.
+
+#ifndef SOP_IO_CSV_H_
+#define SOP_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "sop/common/point.h"
+
+namespace sop {
+namespace io {
+
+/// Parses points from CSV text. Returns false and sets `*error` on the
+/// first malformed line (1-based line number included).
+bool ParsePointsCsv(const std::string& text, std::vector<Point>* out,
+                    std::string* error);
+
+/// Loads points from a CSV file.
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* out,
+                   std::string* error);
+
+/// Serializes points to CSV text (inverse of ParsePointsCsv).
+std::string FormatPointsCsv(const std::vector<Point>& points);
+
+/// Writes points to a CSV file.
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& points,
+                   std::string* error);
+
+}  // namespace io
+}  // namespace sop
+
+#endif  // SOP_IO_CSV_H_

@@ -1,0 +1,130 @@
+#include "sop/io/workload_parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sop {
+namespace io {
+
+namespace {
+
+bool SpecError(std::string* error, size_t line, const std::string& what) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "line %zu: %s", line, what.c_str());
+  *error = buf;
+  return false;
+}
+
+}  // namespace
+
+bool ParseWorkloadSpec(const std::string& text, Workload* out,
+                       std::string* error) {
+  *out = Workload();
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  int next_attr_set = 1;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+
+    if (keyword == "window_type") {
+      std::string value;
+      if (!(tokens >> value)) return SpecError(error, line_no, "missing value");
+      if (value == "count") {
+        out->set_window_type(WindowType::kCount);
+      } else if (value == "time") {
+        out->set_window_type(WindowType::kTime);
+      } else {
+        return SpecError(error, line_no, "unknown window_type " + value);
+      }
+    } else if (keyword == "metric") {
+      std::string value;
+      if (!(tokens >> value)) return SpecError(error, line_no, "missing value");
+      Metric metric;
+      if (!ParseMetric(value, &metric)) {
+        return SpecError(error, line_no, "unknown metric " + value);
+      }
+      out->set_metric(metric);
+    } else if (keyword == "attrs") {
+      int id = -1;
+      if (!(tokens >> id)) return SpecError(error, line_no, "missing set id");
+      if (id != next_attr_set) {
+        return SpecError(error, line_no,
+                         "attribute sets must be declared with consecutive "
+                         "ids starting at 1");
+      }
+      std::vector<int> dims;
+      int dim;
+      while (tokens >> dim) {
+        if (dim < 0) return SpecError(error, line_no, "negative dimension");
+        if (!dims.empty() && dim <= dims.back()) {
+          return SpecError(error, line_no,
+                           "dimensions must be strictly increasing");
+        }
+        dims.push_back(dim);
+      }
+      if (dims.empty()) return SpecError(error, line_no, "empty attribute set");
+      out->AddAttributeSet(std::move(dims));
+      ++next_attr_set;
+    } else if (keyword == "query") {
+      OutlierQuery q;
+      if (!(tokens >> q.r >> q.k >> q.win >> q.slide)) {
+        return SpecError(error, line_no,
+                         "query needs: r k win slide [attr_set]");
+      }
+      if (!(tokens >> q.attribute_set)) q.attribute_set = 0;
+      out->AddQuery(q);
+    } else {
+      return SpecError(error, line_no, "unknown keyword " + keyword);
+    }
+  }
+  const std::string problem = out->Validate();
+  if (!problem.empty()) {
+    *error = problem;
+    return false;
+  }
+  return true;
+}
+
+bool LoadWorkloadSpec(const std::string& path, Workload* out,
+                      std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseWorkloadSpec(buffer.str(), out, error);
+}
+
+std::string FormatWorkloadSpec(const Workload& workload) {
+  std::ostringstream out;
+  out << "window_type " << WindowTypeName(workload.window_type()) << '\n';
+  out << "metric " << MetricName(workload.metric()) << '\n';
+  for (size_t i = 1; i < workload.attribute_sets().size(); ++i) {
+    out << "attrs " << i;
+    for (int dim : workload.attribute_sets()[i]) out << ' ' << dim;
+    out << '\n';
+  }
+  char buf[64];
+  for (const OutlierQuery& q : workload.queries()) {
+    std::snprintf(buf, sizeof(buf), "query %.17g %lld %lld %lld", q.r,
+                  static_cast<long long>(q.k), static_cast<long long>(q.win),
+                  static_cast<long long>(q.slide));
+    out << buf;
+    if (q.attribute_set != 0) out << ' ' << q.attribute_set;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace io
+}  // namespace sop

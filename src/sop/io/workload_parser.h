@@ -1,0 +1,43 @@
+// Text format for outlier workload specifications.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   window_type count|time          # optional, default count
+//   metric euclidean|manhattan      # optional, default euclidean
+//   attrs <id> <dim> [<dim> ...]    # declare attribute set <id> (>= 1, in
+//                                   # increasing order of id); set 0 is the
+//                                   # implicit full space
+//   query <r> <k> <win> <slide> [<attr_set>]
+//
+// Example:
+//   window_type count
+//   attrs 1 0 1
+//   query 500 30 10000 500
+//   query 800 50 20000 1000 1
+
+#ifndef SOP_IO_WORKLOAD_PARSER_H_
+#define SOP_IO_WORKLOAD_PARSER_H_
+
+#include <string>
+
+#include "sop/query/workload.h"
+
+namespace sop {
+namespace io {
+
+/// Parses a workload spec. Returns false and sets `*error` (with a line
+/// number) on the first problem; the workload is also validated.
+bool ParseWorkloadSpec(const std::string& text, Workload* out,
+                       std::string* error);
+
+/// Loads a workload spec from a file.
+bool LoadWorkloadSpec(const std::string& path, Workload* out,
+                      std::string* error);
+
+/// Serializes a workload to spec text (inverse of ParseWorkloadSpec).
+std::string FormatWorkloadSpec(const Workload& workload);
+
+}  // namespace io
+}  // namespace sop
+
+#endif  // SOP_IO_WORKLOAD_PARSER_H_

@@ -1,0 +1,116 @@
+#include "sop/query/plan.h"
+
+#include <algorithm>
+
+#include "sop/common/check.h"
+
+namespace sop {
+
+WorkloadPlan::WorkloadPlan(Workload workload) : workload_(std::move(workload)) {
+  const std::string problem = workload_.Validate();
+  SOP_CHECK_MSG(problem.empty(), problem.c_str());
+  const auto& queries = workload_.queries();
+  for (const OutlierQuery& q : queries) {
+    SOP_CHECK_MSG(q.attribute_set == queries.front().attribute_set,
+                  "WorkloadPlan requires a single attribute set; use "
+                  "MultiAttributeDetector for mixed workloads");
+  }
+
+  // Layers: ascending unique r values.
+  layer_r_.reserve(queries.size());
+  for (const OutlierQuery& q : queries) layer_r_.push_back(q.r);
+  std::sort(layer_r_.begin(), layer_r_.end());
+  layer_r_.erase(std::unique(layer_r_.begin(), layer_r_.end()),
+                 layer_r_.end());
+
+  // Groups: ascending unique k values.
+  group_k_.reserve(queries.size());
+  for (const OutlierQuery& q : queries) group_k_.push_back(q.k);
+  std::sort(group_k_.begin(), group_k_.end());
+  group_k_.erase(std::unique(group_k_.begin(), group_k_.end()),
+                 group_k_.end());
+
+  // Per-query coordinates.
+  query_layer_.resize(queries.size());
+  query_group_.resize(queries.size());
+  group_min_layer_.assign(group_k_.size(), num_layers() + 1);
+  group_max_layer_.assign(group_k_.size(), 0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const OutlierQuery& q = queries[i];
+    const auto layer_it =
+        std::lower_bound(layer_r_.begin(), layer_r_.end(), q.r);
+    const int layer =
+        static_cast<int>(layer_it - layer_r_.begin()) + 1;  // exact match
+    const auto group_it =
+        std::lower_bound(group_k_.begin(), group_k_.end(), q.k);
+    const int group = static_cast<int>(group_it - group_k_.begin());
+    query_layer_[i] = layer;
+    query_group_[i] = group;
+    auto& gmin = group_min_layer_[static_cast<size_t>(group)];
+    auto& gmax = group_max_layer_[static_cast<size_t>(group)];
+    gmin = std::min(gmin, layer);
+    gmax = std::max(gmax, layer);
+  }
+
+  // Def. 6 condition 3 table. suffix_max[g] = max max_layer over groups
+  // with index >= g; a candidate dominated by `count` points serves group
+  // g only when k(g) > count, i.e. groups at index >= UpperBound(count).
+  std::vector<int> suffix_max(group_k_.size() + 1, 0);
+  for (int g = num_groups() - 1; g >= 0; --g) {
+    suffix_max[static_cast<size_t>(g)] =
+        std::max(suffix_max[static_cast<size_t>(g) + 1],
+                 group_max_layer_[static_cast<size_t>(g)]);
+  }
+  max_layer_for_count_.resize(static_cast<size_t>(k_max()));
+  for (int64_t c = 0; c < k_max(); ++c) {
+    const auto it = std::upper_bound(group_k_.begin(), group_k_.end(), c);
+    max_layer_for_count_[static_cast<size_t>(c)] =
+        suffix_max[static_cast<size_t>(it - group_k_.begin())];
+  }
+
+  // Safe-For-All requirements: group g demands k(g) succeeding entries
+  // within its smallest r (its min layer); monotonicity of prefix counts
+  // makes a requirement implied when an earlier layer already demands at
+  // least as many entries, so only a strictly increasing staircase remains.
+  {
+    std::vector<SafetyRequirement> reqs;
+    reqs.reserve(group_k_.size());
+    for (int g = 0; g < num_groups(); ++g) {
+      reqs.push_back(
+          {group_min_layer_[static_cast<size_t>(g)], group_k_[static_cast<size_t>(g)]});
+    }
+    std::sort(reqs.begin(), reqs.end(),
+              [](const SafetyRequirement& a, const SafetyRequirement& b) {
+                return a.layer != b.layer ? a.layer < b.layer : a.k > b.k;
+              });
+    for (const SafetyRequirement& r : reqs) {
+      if (!safety_requirements_.empty() &&
+          safety_requirements_.back().k >= r.k) {
+        continue;  // implied by a requirement at an earlier layer
+      }
+      safety_requirements_.push_back(r);
+    }
+  }
+
+  queries_by_window_.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) queries_by_window_[i] = i;
+  std::stable_sort(queries_by_window_.begin(), queries_by_window_.end(),
+                   [&queries](size_t a, size_t b) {
+                     return queries[a].win < queries[b].win;
+                   });
+
+  win_max_ = workload_.MaxWindow();
+  slide_gcd_ = workload_.SlideGcd();
+}
+
+int WorkloadPlan::LayerOfDistance(double d) const {
+  const auto it = std::lower_bound(layer_r_.begin(), layer_r_.end(), d);
+  return static_cast<int>(it - layer_r_.begin()) + 1;
+}
+
+int WorkloadPlan::MaxLayerForCount(int64_t count) const {
+  SOP_DCHECK(count >= 0 && count < k_max());
+  return max_layer_for_count_[static_cast<size_t>(count)];
+}
+
+}  // namespace sop

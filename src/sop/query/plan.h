@@ -1,0 +1,115 @@
+// WorkloadPlan: the compiled form of a workload used by the SOP core.
+//
+// This is the paper's "query parser" output (Fig. 6): the sorted unique
+// r values (the layers of the normalized distance, Def. 4), the k-groups
+// (Sec. 3.2), the Def-6 skyband-point pruning table, and the swift-query
+// window parameters (Sec. 4).
+
+#ifndef SOP_QUERY_PLAN_H_
+#define SOP_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sop/query/workload.h"
+
+namespace sop {
+
+/// Immutable plan compiled from a validated workload whose queries all use
+/// the same attribute set (multi-attribute workloads are split upstream;
+/// see core/multi_attribute.h).
+class WorkloadPlan {
+ public:
+  /// Compiles `workload`. Check-fails if the workload is invalid or mixes
+  /// attribute sets.
+  explicit WorkloadPlan(Workload workload);
+
+  const Workload& workload() const { return workload_; }
+
+  /// Number of normalized-distance layers L (== distinct r values).
+  int num_layers() const { return static_cast<int>(layer_r_.size()); }
+  /// The r threshold of 1-based layer `m`.
+  double r_of_layer(int m) const { return layer_r_[static_cast<size_t>(m - 1)]; }
+  /// Smallest r in the workload (the global termination radius, Alg. 1).
+  double r_min() const { return layer_r_.front(); }
+  /// Largest r in the workload (Def. 5 condition 3 cutoff).
+  double r_max() const { return layer_r_.back(); }
+
+  /// Number of k-groups G (== distinct k values), ascending.
+  int num_groups() const { return static_cast<int>(group_k_.size()); }
+  /// The k of 0-based group `g`.
+  int64_t k_of_group(int g) const { return group_k_[static_cast<size_t>(g)]; }
+  /// Largest k across the workload.
+  int64_t k_max() const { return group_k_.back(); }
+
+  /// Normalized distance of an original distance `d` (Def. 4): the 1-based
+  /// layer index m with r_{m-1} < d <= r_m, or num_layers()+1 when d
+  /// exceeds every r (the point is nobody's neighbor, Def. 5 cond. 3).
+  int LayerOfDistance(double d) const;
+
+  /// Layer of query `i`'s exact r value (1-based).
+  int layer_of_query(size_t i) const { return query_layer_[i]; }
+  /// Group of query `i`'s k value (0-based).
+  int group_of_query(size_t i) const { return query_group_[i]; }
+
+  /// Smallest layer among the queries of group `g`: the binding prefix for
+  /// the Safe-For-All check (DESIGN.md Sec. 4.3).
+  int min_layer_of_group(int g) const {
+    return group_min_layer_[static_cast<size_t>(g)];
+  }
+  /// Largest layer among the queries of group `g`.
+  int max_layer_of_group(int g) const {
+    return group_max_layer_[static_cast<size_t>(g)];
+  }
+
+  /// Def. 6 condition 3: the deepest layer at which a candidate already
+  /// dominated by `count` points can still be a skyband point, i.e.
+  /// max{ max_layer(g) : k(g) > count }. Returns 0 when no group can use
+  /// such a candidate. Requires 0 <= count < k_max().
+  int MaxLayerForCount(int64_t count) const;
+
+  /// One Safe-For-All requirement: the skyband must hold at least `k`
+  /// succeeding entries with layer <= `layer` (DESIGN.md Sec. 4.3).
+  struct SafetyRequirement {
+    int layer;
+    int64_t k;
+  };
+
+  /// The pruned Safe-For-All requirement staircase: one entry per k-group
+  /// at its min layer, with implied requirements removed. Ascending in both
+  /// `layer` and `k`. A point is a Safe-For-All inlier iff its succeeding
+  /// skyband prefix satisfies every requirement.
+  const std::vector<SafetyRequirement>& safety_requirements() const {
+    return safety_requirements_;
+  }
+
+  /// Swift-query window size: the largest query window (Sec. 4.1).
+  int64_t win_max() const { return win_max_; }
+  /// Swift-query slide: gcd of the query slides (Sec. 4.2).
+  int64_t slide_gcd() const { return slide_gcd_; }
+
+  /// Query indices ordered by ascending window size: the emission sweep
+  /// order (windows are suffixes of the swift window, so ascending window
+  /// size means descending window start).
+  const std::vector<size_t>& queries_by_window() const {
+    return queries_by_window_;
+  }
+
+ private:
+  Workload workload_;
+  std::vector<double> layer_r_;       // ascending unique r values
+  std::vector<int64_t> group_k_;      // ascending unique k values
+  std::vector<int> query_layer_;      // per query, 1-based
+  std::vector<int> query_group_;      // per query, 0-based
+  std::vector<int> group_min_layer_;  // per group
+  std::vector<int> group_max_layer_;  // per group
+  std::vector<int> max_layer_for_count_;  // size k_max
+  std::vector<SafetyRequirement> safety_requirements_;
+  std::vector<size_t> queries_by_window_;
+  int64_t win_max_ = 0;
+  int64_t slide_gcd_ = 0;
+};
+
+}  // namespace sop
+
+#endif  // SOP_QUERY_PLAN_H_

@@ -1,0 +1,16 @@
+#include "sop/query/query.h"
+
+#include <cstdio>
+
+namespace sop {
+
+std::string OutlierQuery::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "q(r=%.6g, k=%lld, win=%lld, slide=%lld, attrs=%d)", r,
+                static_cast<long long>(k), static_cast<long long>(win),
+                static_cast<long long>(slide), attribute_set);
+  return buf;
+}
+
+}  // namespace sop

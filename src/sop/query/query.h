@@ -1,0 +1,46 @@
+// The distance-based outlier query (paper Def. 3).
+
+#ifndef SOP_QUERY_QUERY_H_
+#define SOP_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sop {
+
+/// One continuous distance-based outlier detection request
+/// `q(r, k, win, slide)`:
+///
+///   At every window of size `win` ending at a multiple of `slide`, report
+///   each point in the window with fewer than `k` neighbors, where a
+///   neighbor is any other in-window point at original distance <= `r`.
+///
+/// `win` and `slide` are measured in the workload's window units (tuple
+/// counts or time units, see Workload::window_type). `attribute_set`
+/// indexes the workload's attribute-set table (0 = full attribute space)
+/// and supports multi-attribute workloads (paper Fig. 10(b)).
+struct OutlierQuery {
+  double r = 0.0;
+  int64_t k = 0;
+  int64_t win = 0;
+  int64_t slide = 0;
+  int attribute_set = 0;
+
+  OutlierQuery() = default;
+  OutlierQuery(double r_in, int64_t k_in, int64_t win_in, int64_t slide_in,
+               int attribute_set_in = 0)
+      : r(r_in),
+        k(k_in),
+        win(win_in),
+        slide(slide_in),
+        attribute_set(attribute_set_in) {}
+
+  friend bool operator==(const OutlierQuery&, const OutlierQuery&) = default;
+
+  /// "q(r=..., k=..., win=..., slide=...)" for logs and test failures.
+  std::string ToString() const;
+};
+
+}  // namespace sop
+
+#endif  // SOP_QUERY_QUERY_H_

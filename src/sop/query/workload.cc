@@ -1,0 +1,113 @@
+#include "sop/query/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "sop/common/check.h"
+#include "sop/common/math_util.h"
+
+namespace sop {
+
+size_t Workload::AddQuery(const OutlierQuery& q) {
+  queries_.push_back(q);
+  return queries_.size() - 1;
+}
+
+int Workload::AddAttributeSet(std::vector<int> attributes) {
+  SOP_CHECK_MSG(std::is_sorted(attributes.begin(), attributes.end()),
+                "attribute sets must be sorted");
+  attribute_sets_.push_back(std::move(attributes));
+  return static_cast<int>(attribute_sets_.size()) - 1;
+}
+
+DistanceFn Workload::MakeDistanceFn(size_t i) const {
+  SOP_CHECK(i < queries_.size());
+  const int set = queries_[i].attribute_set;
+  SOP_CHECK(set >= 0 && static_cast<size_t>(set) < attribute_sets_.size());
+  return DistanceFn(metric_, attribute_sets_[static_cast<size_t>(set)]);
+}
+
+std::string Workload::Validate() const {
+  if (queries_.empty()) return "workload has no queries";
+  char buf[160];
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const OutlierQuery& q = queries_[i];
+    const char* problem = nullptr;
+    if (!(q.r > 0.0)) problem = "r must be > 0";
+    if (q.k <= 0) problem = "k must be > 0";
+    if (q.win <= 0) problem = "win must be > 0";
+    if (q.slide <= 0) problem = "slide must be > 0";
+    if (q.attribute_set < 0 ||
+        static_cast<size_t>(q.attribute_set) >= attribute_sets_.size()) {
+      problem = "attribute_set out of range";
+    }
+    if (problem != nullptr) {
+      std::snprintf(buf, sizeof(buf), "query %zu: %s", i, problem);
+      return buf;
+    }
+  }
+  return "";
+}
+
+namespace {
+
+// FNV-1a style mixing over 64-bit words.
+uint64_t MixWord(uint64_t hash, uint64_t word) {
+  hash ^= word;
+  hash *= 0x100000001b3ULL;
+  hash ^= hash >> 29;
+  return hash;
+}
+
+uint64_t MixDouble(uint64_t hash, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return MixWord(hash, bits);
+}
+
+}  // namespace
+
+uint64_t Workload::Fingerprint() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = MixWord(hash, static_cast<uint64_t>(window_type_));
+  hash = MixWord(hash, static_cast<uint64_t>(metric_));
+  hash = MixWord(hash, attribute_sets_.size());
+  for (const auto& set : attribute_sets_) {
+    hash = MixWord(hash, set.size());
+    for (const int dim : set) hash = MixWord(hash, static_cast<uint64_t>(dim));
+  }
+  hash = MixWord(hash, queries_.size());
+  for (const OutlierQuery& q : queries_) {
+    hash = MixDouble(hash, q.r);
+    hash = MixWord(hash, static_cast<uint64_t>(q.k));
+    hash = MixWord(hash, static_cast<uint64_t>(q.win));
+    hash = MixWord(hash, static_cast<uint64_t>(q.slide));
+    hash = MixWord(hash, static_cast<uint64_t>(q.attribute_set));
+  }
+  return hash;
+}
+
+int64_t Workload::MaxWindow() const {
+  SOP_CHECK(!queries_.empty());
+  int64_t m = 0;
+  for (const OutlierQuery& q : queries_) m = std::max(m, q.win);
+  return m;
+}
+
+int64_t Workload::MaxK() const {
+  SOP_CHECK(!queries_.empty());
+  int64_t m = 0;
+  for (const OutlierQuery& q : queries_) m = std::max(m, q.k);
+  return m;
+}
+
+int64_t Workload::SlideGcd() const {
+  std::vector<int64_t> slides;
+  slides.reserve(queries_.size());
+  for (const OutlierQuery& q : queries_) slides.push_back(q.slide);
+  return GcdAll(slides);
+}
+
+}  // namespace sop

@@ -1,0 +1,85 @@
+// A workload: the set of outlier queries processed together over one
+// stream (the paper's query group Q).
+
+#ifndef SOP_QUERY_WORKLOAD_H_
+#define SOP_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sop/common/distance.h"
+#include "sop/query/query.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+
+/// The multi-query outlier workload: queries, the window unit they share,
+/// the distance metric, and the attribute-set table referenced by
+/// OutlierQuery::attribute_set (entry 0 is always the full space).
+///
+/// Construct, add queries, then call Validate() once (the detector factory
+/// and WorkloadPlan check-fail on invalid workloads). Copyable.
+class Workload {
+ public:
+  Workload() { attribute_sets_.push_back({}); }
+  explicit Workload(WindowType type, Metric metric = Metric::kEuclidean)
+      : window_type_(type), metric_(metric) {
+    attribute_sets_.push_back({});
+  }
+
+  WindowType window_type() const { return window_type_; }
+  void set_window_type(WindowType type) { window_type_ = type; }
+
+  Metric metric() const { return metric_; }
+  void set_metric(Metric metric) { metric_ = metric; }
+
+  const std::vector<OutlierQuery>& queries() const { return queries_; }
+  size_t num_queries() const { return queries_.size(); }
+  const OutlierQuery& query(size_t i) const { return queries_[i]; }
+
+  /// Appends a query; returns its index (query ids are positional).
+  size_t AddQuery(const OutlierQuery& q);
+
+  /// Drops all queries, keeping the window type, metric and attribute-set
+  /// table (used to derive per-attribute-set sub-workloads).
+  void ClearQueries() { queries_.clear(); }
+
+  /// Registers an attribute subset (sorted, deduplicated by the caller) and
+  /// returns its id for use in OutlierQuery::attribute_set.
+  int AddAttributeSet(std::vector<int> attributes);
+
+  const std::vector<std::vector<int>>& attribute_sets() const {
+    return attribute_sets_;
+  }
+
+  /// The distance function for query `i`.
+  DistanceFn MakeDistanceFn(size_t i) const;
+
+  /// Validates every query (positive r/k/win/slide, valid attribute set).
+  /// Returns an empty string when valid, else a description of the first
+  /// problem found.
+  std::string Validate() const;
+
+  /// Stable fingerprint over window type, metric, attribute sets and
+  /// queries. Two workloads with equal fingerprints are interchangeable
+  /// for checkpoint restore purposes.
+  uint64_t Fingerprint() const;
+
+  /// Largest window size across queries.
+  int64_t MaxWindow() const;
+  /// Largest k across queries.
+  int64_t MaxK() const;
+  /// gcd of the query slides: the swift-query slide / driver batch span.
+  int64_t SlideGcd() const;
+
+ private:
+  WindowType window_type_ = WindowType::kCount;
+  Metric metric_ = Metric::kEuclidean;
+  std::vector<OutlierQuery> queries_;
+  std::vector<std::vector<int>> attribute_sets_;
+};
+
+}  // namespace sop
+
+#endif  // SOP_QUERY_WORKLOAD_H_

@@ -1,0 +1,68 @@
+#include "sop/report/aggregate.h"
+
+#include <set>
+#include <sstream>
+
+namespace sop {
+namespace report {
+
+void OutlierAggregator::Add(const QueryResult& result) {
+  auto& at_boundary = by_boundary_[result.boundary];
+  for (const Seq s : result.outliers) {
+    at_boundary[s].push_back(result.query_index);
+  }
+}
+
+std::vector<int64_t> OutlierAggregator::Boundaries() const {
+  std::vector<int64_t> boundaries;
+  boundaries.reserve(by_boundary_.size());
+  for (const auto& [boundary, points] : by_boundary_) {
+    boundaries.push_back(boundary);
+  }
+  return boundaries;
+}
+
+std::vector<PointReport> OutlierAggregator::ReportsAt(int64_t boundary) const {
+  std::vector<PointReport> reports;
+  const auto it = by_boundary_.find(boundary);
+  if (it == by_boundary_.end()) return reports;
+  reports.reserve(it->second.size());
+  for (const auto& [seq, queries] : it->second) {
+    PointReport report;
+    report.seq = seq;
+    report.boundary = boundary;
+    report.queries = queries;  // ascending: driver emits in query order
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+size_t OutlierAggregator::NumFlaggedPointWindows() const {
+  size_t n = 0;
+  for (const auto& [boundary, points] : by_boundary_) n += points.size();
+  return n;
+}
+
+size_t OutlierAggregator::NumDistinctPoints() const {
+  std::set<Seq> distinct;
+  for (const auto& [boundary, points] : by_boundary_) {
+    for (const auto& [seq, queries] : points) distinct.insert(seq);
+  }
+  return distinct.size();
+}
+
+std::string OutlierAggregator::ToString(int64_t boundary) const {
+  std::ostringstream out;
+  for (const PointReport& report : ReportsAt(boundary)) {
+    out << "p" << report.seq << " <- ";
+    for (size_t i = 0; i < report.queries.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "q" << report.queries[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace report
+}  // namespace sop

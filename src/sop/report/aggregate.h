@@ -1,0 +1,63 @@
+// Aggregation of per-query emissions into the paper's output format.
+//
+// Alg. 3 describes the outlier set as recording "one point p along with
+// the member queries q_i that classify p as outlier". Detectors in this
+// repository emit per-query results (QueryResult); OutlierAggregator
+// pivots them into that per-point view, which is what an analyst-facing
+// application actually shows ("transaction X was flagged by analysts 2
+// and 5").
+
+#ifndef SOP_REPORT_AGGREGATE_H_
+#define SOP_REPORT_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sop/detector/detector.h"
+#include "sop/query/workload.h"
+
+namespace sop {
+namespace report {
+
+/// One flagged point at one boundary, with every query that flagged it.
+struct PointReport {
+  Seq seq = 0;
+  int64_t boundary = 0;
+  std::vector<size_t> queries;  // ascending query indices
+};
+
+/// Collects QueryResults (feed it as the driver's ResultSink) and exposes
+/// the per-point pivot. Results may arrive in any boundary order, but all
+/// results of one boundary must arrive before those of a later one (the
+/// driver guarantees this).
+class OutlierAggregator {
+ public:
+  /// Ingests one emission.
+  void Add(const QueryResult& result);
+
+  /// Boundaries seen, ascending.
+  std::vector<int64_t> Boundaries() const;
+
+  /// Reports at `boundary`, ascending by seq. Empty if none.
+  std::vector<PointReport> ReportsAt(int64_t boundary) const;
+
+  /// Number of distinct (boundary, point) flag events.
+  size_t NumFlaggedPointWindows() const;
+
+  /// Number of distinct points ever flagged.
+  size_t NumDistinctPoints() const;
+
+  /// Human-readable dump of one boundary ("p17 <- q0,q3\n...").
+  std::string ToString(int64_t boundary) const;
+
+ private:
+  // boundary -> seq -> flagging queries.
+  std::map<int64_t, std::map<Seq, std::vector<size_t>>> by_boundary_;
+};
+
+}  // namespace report
+}  // namespace sop
+
+#endif  // SOP_REPORT_AGGREGATE_H_

@@ -1,0 +1,48 @@
+// Stream source abstraction: where points come from.
+//
+// Sources yield points with timestamps and attribute values; arrival
+// sequence numbers are assigned downstream by the driver. Generators
+// (src/sop/gen) and the CSV loader (src/sop/io) produce sources.
+
+#ifndef SOP_STREAM_SOURCE_H_
+#define SOP_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sop/common/point.h"
+
+namespace sop {
+
+/// Pull-based point source. Implementations must yield points with
+/// non-decreasing timestamps.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Writes the next point into `*out` and returns true, or returns false
+  /// at end of stream.
+  virtual bool Next(Point* out) = 0;
+};
+
+/// A source over an in-memory vector of points (test and bench workhorse).
+class VectorSource : public StreamSource {
+ public:
+  explicit VectorSource(std::vector<Point> points)
+      : points_(std::move(points)) {}
+
+  bool Next(Point* out) override {
+    if (pos_ >= points_.size()) return false;
+    *out = points_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Point> points_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sop
+
+#endif  // SOP_STREAM_SOURCE_H_

@@ -1,0 +1,52 @@
+#include "sop/stream/stream_buffer.h"
+
+#include "sop/common/check.h"
+#include "sop/common/memory.h"
+
+namespace sop {
+
+void StreamBuffer::Append(Point p) {
+  SOP_CHECK_MSG(p.seq == next_seq(), "points must arrive in seq order");
+  if (!points_.empty()) {
+    SOP_CHECK_MSG(PointKey(p, type_) >= PointKey(points_.back(), type_),
+                  "point keys must be non-decreasing");
+  }
+  points_.push_back(std::move(p));
+}
+
+size_t StreamBuffer::ExpireBefore(int64_t min_key) {
+  size_t dropped = 0;
+  while (!points_.empty() && PointKey(points_.front(), type_) < min_key) {
+    points_.pop_front();
+    ++first_seq_;
+    ++dropped;
+  }
+  return dropped;
+}
+
+const Point& StreamBuffer::At(Seq seq) const {
+  SOP_DCHECK(Contains(seq));
+  return points_[static_cast<size_t>(seq - first_seq_)];
+}
+
+Seq StreamBuffer::LowerBoundKey(int64_t min_key) const {
+  Seq lo = first_seq_;
+  Seq hi = next_seq();
+  while (lo < hi) {
+    const Seq mid = lo + (hi - lo) / 2;
+    if (KeyOf(mid) < min_key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t StreamBuffer::MemoryBytes() const {
+  size_t bytes = DequeHeapBytes(points_);
+  for (const Point& p : points_) bytes += VectorHeapBytes(p.values);
+  return bytes;
+}
+
+}  // namespace sop

@@ -1,0 +1,79 @@
+// The shared sliding store of alive points.
+//
+// Every detector sees the stream through a StreamBuffer owned by the
+// driver: points are appended in arrival order and expired from the front
+// once they fall out of the largest (swift) window. Points are addressed by
+// their global arrival sequence number, which stays valid until expiry.
+
+#ifndef SOP_STREAM_STREAM_BUFFER_H_
+#define SOP_STREAM_STREAM_BUFFER_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "sop/common/check.h"
+#include "sop/common/point.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+
+/// Sliding buffer of alive points, indexed by arrival sequence number.
+///
+/// Invariants: appended points have seq == next_seq() and non-decreasing
+/// keys; expiry only moves forward. Not thread-safe.
+class StreamBuffer {
+ public:
+  explicit StreamBuffer(WindowType type) : type_(type) {}
+
+  WindowType type() const { return type_; }
+
+  /// Sequence number the next appended point must carry.
+  Seq next_seq() const { return first_seq_ + static_cast<Seq>(points_.size()); }
+
+  /// First alive sequence number (== next_seq() when empty).
+  Seq first_seq() const { return first_seq_; }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Appends a point. Its seq must equal next_seq() and its key must be
+  /// >= the previous point's key.
+  void Append(Point p);
+
+  /// Re-bases an empty buffer at `first_seq` (checkpoint restore).
+  void ResetTo(Seq first_seq) {
+    SOP_CHECK_MSG(points_.empty(), "ResetTo requires an empty buffer");
+    first_seq_ = first_seq;
+  }
+
+  /// Drops all points whose key is < `min_key`. Returns how many were
+  /// dropped.
+  size_t ExpireBefore(int64_t min_key);
+
+  /// The alive point with sequence number `seq`. Checked.
+  const Point& At(Seq seq) const;
+
+  /// True iff `seq` identifies an alive point.
+  bool Contains(Seq seq) const {
+    return seq >= first_seq_ && seq < next_seq();
+  }
+
+  /// Key of alive point `seq` under this buffer's window type.
+  int64_t KeyOf(Seq seq) const { return PointKey(At(seq), type_); }
+
+  /// Smallest alive sequence number whose key is >= `min_key` (binary
+  /// search; keys are non-decreasing). Returns next_seq() if none.
+  Seq LowerBoundKey(int64_t min_key) const;
+
+  /// Approximate heap bytes used by the stored points.
+  size_t MemoryBytes() const;
+
+ private:
+  WindowType type_;
+  Seq first_seq_ = 0;
+  std::deque<Point> points_;
+};
+
+}  // namespace sop
+
+#endif  // SOP_STREAM_STREAM_BUFFER_H_

@@ -1,0 +1,27 @@
+#include "sop/stream/window.h"
+
+#include "sop/common/check.h"
+
+namespace sop {
+
+const char* WindowTypeName(WindowType type) {
+  switch (type) {
+    case WindowType::kCount:
+      return "count";
+    case WindowType::kTime:
+      return "time";
+  }
+  return "unknown";
+}
+
+int64_t FirstBoundaryAtOrAfter(int64_t key, int64_t batch_span) {
+  SOP_CHECK(batch_span > 0);
+  if (key >= 0) {
+    return ((key + batch_span - 1) / batch_span) * batch_span;
+  }
+  // Floor-divide toward negative infinity, then take the ceiling multiple.
+  const int64_t q = -((-key) / batch_span);
+  return q * batch_span + (q * batch_span < key ? batch_span : 0);
+}
+
+}  // namespace sop

@@ -1,0 +1,50 @@
+// Sliding-window arithmetic shared by every detector.
+//
+// The repository implements CQL periodic sliding windows (paper Sec. 2).
+// A workload is either count-based (window arithmetic on arrival sequence
+// numbers) or time-based (window arithmetic on timestamps). The value a
+// point contributes to window arithmetic is its *key*; see DESIGN.md Sec. 2
+// for the normative emission semantics.
+
+#ifndef SOP_STREAM_WINDOW_H_
+#define SOP_STREAM_WINDOW_H_
+
+#include <cstdint>
+
+#include "sop/common/point.h"
+
+namespace sop {
+
+/// Whether window sizes/slides are measured in tuple counts or time units.
+enum class WindowType {
+  kCount,
+  kTime,
+};
+
+/// Human-readable name of `type`.
+const char* WindowTypeName(WindowType type);
+
+/// The window-arithmetic key of `p` under `type`: its arrival sequence
+/// number for count-based windows, its timestamp for time-based windows.
+inline int64_t PointKey(const Point& p, WindowType type) {
+  return type == WindowType::kCount ? p.seq : p.time;
+}
+
+/// A window emitting at boundary key `end` with size `win` covers keys in
+/// [end - win, end). `WindowStart` returns that lower bound (no clamping:
+/// early partial windows simply have a start below the first key).
+inline int64_t WindowStart(int64_t end, int64_t win) { return end - win; }
+
+/// True iff a query with slide `slide` emits at boundary key `boundary`.
+/// Boundaries are aligned to multiples of the slide from key 0.
+inline bool EmitsAt(int64_t boundary, int64_t slide) {
+  return boundary % slide == 0;
+}
+
+/// First batch boundary at or after `key`, for batches of span `batch_span`
+/// aligned to key 0. Requires batch_span > 0.
+int64_t FirstBoundaryAtOrAfter(int64_t key, int64_t batch_span);
+
+}  // namespace sop
+
+#endif  // SOP_STREAM_WINDOW_H_

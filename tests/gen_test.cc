@@ -1,0 +1,167 @@
+// Tests for the data and workload generators.
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "sop/gen/stt.h"
+#include "sop/gen/synthetic.h"
+#include "sop/gen/workload_gen.h"
+
+namespace sop {
+namespace {
+
+TEST(SyntheticGenTest, DeterministicForSeed) {
+  gen::SyntheticOptions options;
+  options.seed = 99;
+  const std::vector<Point> a = gen::GenerateSynthetic(500, options);
+  const std::vector<Point> b = gen::GenerateSynthetic(500, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(SyntheticGenTest, ShapeAndTimestamps) {
+  gen::SyntheticOptions options;
+  options.dimensions = 3;
+  options.time_step = 5;
+  const std::vector<Point> points = gen::GenerateSynthetic(100, options);
+  ASSERT_EQ(points.size(), 100u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].values.size(), 3u);
+    EXPECT_EQ(points[i].time, static_cast<Timestamp>(i) * 5);
+  }
+}
+
+TEST(SyntheticGenTest, MostPointsAreClustered) {
+  gen::SyntheticOptions options;
+  options.outlier_rate = 0.05;
+  options.cluster_stddev = 100.0;
+  const std::vector<Point> points = gen::GenerateSynthetic(4000, options);
+  // Inliers sit within a few stddevs of some cluster center; count points
+  // with a same-cluster-scale neighbor density by proxy: the fraction of
+  // points whose nearest neighbor is within 3 stddevs must be large.
+  int lonely = 0;
+  for (size_t i = 0; i < 400; ++i) {  // sample
+    double nearest = 1e18;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      double sum = 0;
+      for (size_t d = 0; d < points[i].values.size(); ++d) {
+        const double diff = points[i].values[d] - points[j].values[d];
+        sum += diff * diff;
+      }
+      nearest = std::min(nearest, sum);
+    }
+    if (nearest > 300.0 * 300.0) ++lonely;
+  }
+  EXPECT_LT(lonely, 60);  // ~ outlier rate, far below half
+}
+
+TEST(SyntheticGenTest, SourceMatchesMaterialized) {
+  gen::SyntheticOptions options;
+  options.seed = 3;
+  gen::SyntheticSource source(50, options);
+  const std::vector<Point> expected = gen::GenerateSynthetic(50, options);
+  Point p;
+  size_t i = 0;
+  while (source.Next(&p)) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(p.values, expected[i].values);
+    ++i;
+  }
+  EXPECT_EQ(i, expected.size());
+}
+
+TEST(SttGenTest, SchemaAndMonotoneTime) {
+  gen::SttOptions options;
+  const std::vector<Point> trades = gen::GenerateStt(2000, options);
+  ASSERT_EQ(trades.size(), 2000u);
+  for (size_t i = 0; i < trades.size(); ++i) {
+    EXPECT_EQ(trades[i].values.size(), 2u);
+    EXPECT_GE(trades[i].values[0], 0.0);
+    EXPECT_LE(trades[i].values[0], options.value_scale);
+    EXPECT_GE(trades[i].values[1], 0.0);
+    EXPECT_LE(trades[i].values[1], options.value_scale);
+    if (i > 0) {
+      EXPECT_GE(trades[i].time, trades[i - 1].time);
+    }
+    EXPECT_LE(trades[i].time, options.session_seconds);
+  }
+}
+
+TEST(SttGenTest, SymbolAttributeOptional) {
+  gen::SttOptions options;
+  options.include_symbol_attribute = true;
+  const std::vector<Point> trades = gen::GenerateStt(100, options);
+  for (const Point& t : trades) EXPECT_EQ(t.values.size(), 3u);
+}
+
+TEST(SttGenTest, DeterministicForSeed) {
+  gen::SttOptions options;
+  options.seed = 1234;
+  const std::vector<Point> a = gen::GenerateStt(300, options);
+  const std::vector<Point> b = gen::GenerateStt(300, options);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].values, b[i].values);
+}
+
+TEST(WorkloadGenTest, CaseParsing) {
+  gen::WorkloadCase c;
+  EXPECT_TRUE(gen::ParseWorkloadCase("A", &c));
+  EXPECT_EQ(c, gen::WorkloadCase::kA);
+  EXPECT_TRUE(gen::ParseWorkloadCase("G", &c));
+  EXPECT_EQ(c, gen::WorkloadCase::kG);
+  EXPECT_FALSE(gen::ParseWorkloadCase("H", &c));
+  EXPECT_FALSE(gen::ParseWorkloadCase("AB", &c));
+}
+
+TEST(WorkloadGenTest, FixedAndVaryingParametersPerCase) {
+  gen::WorkloadGenOptions options;
+  options.seed = 5;
+  const Workload a = gen::GenerateWorkload(gen::WorkloadCase::kA, 50,
+                                           WindowType::kCount, options);
+  std::set<double> rs;
+  for (const OutlierQuery& q : a.queries()) {
+    rs.insert(q.r);
+    EXPECT_EQ(q.k, options.k_fixed);
+    EXPECT_EQ(q.win, options.win_fixed);
+    EXPECT_EQ(q.slide, options.slide_fixed);
+    EXPECT_GE(q.r, options.r_lo);
+    EXPECT_LT(q.r, options.r_hi);
+  }
+  EXPECT_GT(rs.size(), 10u);
+
+  const Workload g = gen::GenerateWorkload(gen::WorkloadCase::kG, 50,
+                                           WindowType::kCount, options);
+  std::set<int64_t> ks, wins, slides;
+  for (const OutlierQuery& q : g.queries()) {
+    ks.insert(q.k);
+    wins.insert(q.win);
+    slides.insert(q.slide);
+    EXPECT_EQ(q.win % options.slide_quantum, 0);
+    EXPECT_EQ(q.slide % options.slide_quantum, 0);
+    EXPECT_GE(q.k, options.k_lo);
+    EXPECT_LT(q.k, options.k_hi);
+  }
+  EXPECT_GT(ks.size(), 10u);
+  EXPECT_GT(wins.size(), 10u);
+  EXPECT_GT(slides.size(), 10u);
+}
+
+TEST(WorkloadGenTest, GeneratedWorkloadsValidate) {
+  gen::WorkloadGenOptions options;
+  for (const gen::WorkloadCase c :
+       {gen::WorkloadCase::kA, gen::WorkloadCase::kB, gen::WorkloadCase::kC,
+        gen::WorkloadCase::kD, gen::WorkloadCase::kE, gen::WorkloadCase::kF,
+        gen::WorkloadCase::kG}) {
+    const Workload w =
+        gen::GenerateWorkload(c, 20, WindowType::kCount, options);
+    EXPECT_TRUE(w.Validate().empty());
+    EXPECT_EQ(w.num_queries(), 20u);
+  }
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,126 @@
+// Unit and property tests for the uniform grid index.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sop/common/random.h"
+#include "sop/index/grid.h"
+
+namespace sop {
+namespace {
+
+Point MakePoint(Seq seq, std::vector<double> values) {
+  return Point(seq, seq, std::move(values));
+}
+
+std::set<Seq> Candidates(const GridIndex& grid, const Point& p, double r) {
+  std::set<Seq> seqs;
+  grid.ForEachCandidate(p, r, [&seqs](Seq s) { seqs.insert(s); });
+  return seqs;
+}
+
+TEST(GridIndexTest, InsertRemoveSize) {
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  const Point a = MakePoint(1, {0.5, 0.5});
+  const Point b = MakePoint(2, {0.6, 0.4});
+  const Point c = MakePoint(3, {5.0, 5.0});
+  grid.Insert(1, a);
+  grid.Insert(2, b);
+  grid.Insert(3, c);
+  EXPECT_EQ(grid.size(), 3u);
+  grid.Remove(2, b);
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_EQ(Candidates(grid, a, 0.5), (std::set<Seq>{1}));
+}
+
+TEST(GridIndexTest, RemovingUnindexedPointDies) {
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  grid.Insert(1, MakePoint(1, {0.0}));
+  EXPECT_DEATH(grid.Remove(2, MakePoint(2, {50.0})), "unindexed");
+}
+
+TEST(GridIndexTest, CandidatesAreSuperset) {
+  // Every point within r must be among the candidates (no false
+  // negatives), for both metrics and a radius spanning many cells.
+  for (const Metric metric : {Metric::kEuclidean, Metric::kManhattan}) {
+    const DistanceFn dist(metric);
+    GridIndex grid(dist, 0.7);
+    Rng rng(404);
+    std::vector<Point> points;
+    for (Seq s = 0; s < 400; ++s) {
+      points.push_back(MakePoint(
+          s, {rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)}));
+      grid.Insert(s, points.back());
+    }
+    for (int probe = 0; probe < 30; ++probe) {
+      const Point p = MakePoint(
+          1000, {rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)});
+      const double r = rng.UniformDouble(0.1, 6.0);
+      const std::set<Seq> candidates = Candidates(grid, p, r);
+      for (const Point& q : points) {
+        if (dist(p, q) <= r) {
+          EXPECT_TRUE(candidates.count(q.seq))
+          << "missing neighbor " << q.seq << " metric "
+          << MetricName(metric);
+        }
+      }
+    }
+  }
+}
+
+TEST(GridIndexTest, CellPruningFiltersFarCells) {
+  // Points far beyond r + cell diagonal must not be visited.
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  grid.Insert(1, MakePoint(1, {0.0, 0.0}));
+  grid.Insert(2, MakePoint(2, {100.0, 100.0}));
+  const std::set<Seq> candidates =
+      Candidates(grid, MakePoint(9, {0.5, 0.5}), 2.0);
+  EXPECT_TRUE(candidates.count(1));
+  EXPECT_FALSE(candidates.count(2));
+}
+
+TEST(GridIndexTest, SubspaceGridIgnoresOtherAttributes) {
+  // Grid over attribute {0} only: attribute 1 must not affect candidacy.
+  GridIndex grid(DistanceFn(Metric::kEuclidean, {0}), 1.0);
+  grid.Insert(1, MakePoint(1, {1.0, 9999.0}));
+  grid.Insert(2, MakePoint(2, {50.0, 1.0}));
+  const std::set<Seq> candidates =
+      Candidates(grid, MakePoint(9, {1.2, -9999.0}), 1.0);
+  EXPECT_TRUE(candidates.count(1));
+  EXPECT_FALSE(candidates.count(2));
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  grid.Insert(1, MakePoint(1, {-3.4, -7.9}));
+  const std::set<Seq> candidates =
+      Candidates(grid, MakePoint(9, {-3.0, -8.0}), 1.0);
+  EXPECT_TRUE(candidates.count(1));
+}
+
+TEST(GridIndexTest, DuplicateCoordinatesShareCell) {
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  const Point a = MakePoint(1, {2.0, 2.0});
+  const Point b = MakePoint(2, {2.0, 2.0});
+  grid.Insert(1, a);
+  grid.Insert(2, b);
+  EXPECT_EQ(Candidates(grid, a, 0.1), (std::set<Seq>{1, 2}));
+  grid.Remove(1, a);
+  EXPECT_EQ(Candidates(grid, b, 0.1), (std::set<Seq>{2}));
+}
+
+TEST(GridIndexTest, MemoryBytesGrows) {
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  const size_t empty = grid.MemoryBytes();
+  Rng rng(5);
+  for (Seq s = 0; s < 200; ++s) {
+    grid.Insert(s, MakePoint(s, {rng.UniformDouble(0, 100),
+                                 rng.UniformDouble(0, 100)}));
+  }
+  EXPECT_GT(grid.MemoryBytes(), empty);
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,131 @@
+// Tests for CSV point IO and the workload spec parser.
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sop/io/csv.h"
+#include "sop/io/workload_parser.h"
+
+namespace sop {
+namespace {
+
+TEST(CsvTest, ParseBasic) {
+  std::vector<Point> points;
+  std::string error;
+  ASSERT_TRUE(io::ParsePointsCsv("# header\n1,2.5,3\n2,4.5,-1\n\n", &points,
+                                 &error))
+      << error;
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].time, 1);
+  EXPECT_EQ(points[0].values, (std::vector<double>{2.5, 3.0}));
+  EXPECT_EQ(points[1].seq, 1);
+  EXPECT_EQ(points[1].values[1], -1.0);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  std::vector<Point> points;
+  std::string error;
+  EXPECT_FALSE(io::ParsePointsCsv("abc,1\n", &points, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(io::ParsePointsCsv("1,2\n2,3,4\n", &points, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(io::ParsePointsCsv("5,1\n4,1\n", &points, &error));
+  EXPECT_NE(error.find("non-decreasing"), std::string::npos);
+  EXPECT_FALSE(io::ParsePointsCsv("5\n", &points, &error));
+  EXPECT_FALSE(io::ParsePointsCsv("5,1,x\n", &points, &error));
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<Point> points;
+  points.emplace_back(0, 10, std::vector<double>{1.25, -3.75});
+  points.emplace_back(1, 12, std::vector<double>{0.1, 1e-9});
+  const std::string text = io::FormatPointsCsv(points);
+  std::vector<Point> parsed;
+  std::string error;
+  ASSERT_TRUE(io::ParsePointsCsv(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(parsed[i].time, points[i].time);
+    EXPECT_EQ(parsed[i].values, points[i].values);
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::vector<Point> points;
+  points.emplace_back(0, 5, std::vector<double>{7.0});
+  const std::string path = ::testing::TempDir() + "/sop_csv_test.csv";
+  std::string error;
+  ASSERT_TRUE(io::SavePointsCsv(path, points, &error)) << error;
+  std::vector<Point> loaded;
+  ASSERT_TRUE(io::LoadPointsCsv(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].values[0], 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  std::vector<Point> points;
+  std::string error;
+  EXPECT_FALSE(io::LoadPointsCsv("/nonexistent/file.csv", &points, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WorkloadSpecTest, ParseFull) {
+  const std::string spec = R"(
+# demo workload
+window_type time
+metric manhattan
+attrs 1 0 1
+attrs 2 2
+query 500 30 10000 500
+query 800.5 50 20000 1000 1
+query 300 10 5000 500 2
+)";
+  Workload w;
+  std::string error;
+  ASSERT_TRUE(io::ParseWorkloadSpec(spec, &w, &error)) << error;
+  EXPECT_EQ(w.window_type(), WindowType::kTime);
+  EXPECT_EQ(w.metric(), Metric::kManhattan);
+  ASSERT_EQ(w.num_queries(), 3u);
+  EXPECT_DOUBLE_EQ(w.query(1).r, 800.5);
+  EXPECT_EQ(w.query(1).attribute_set, 1);
+  EXPECT_EQ(w.query(2).attribute_set, 2);
+  EXPECT_EQ(w.attribute_sets()[1], (std::vector<int>{0, 1}));
+  EXPECT_EQ(w.attribute_sets()[2], (std::vector<int>{2}));
+}
+
+TEST(WorkloadSpecTest, RejectsBadSpecs) {
+  Workload w;
+  std::string error;
+  EXPECT_FALSE(io::ParseWorkloadSpec("query 1 2 3\n", &w, &error));
+  EXPECT_FALSE(io::ParseWorkloadSpec("bogus 1\n", &w, &error));
+  EXPECT_FALSE(io::ParseWorkloadSpec("window_type sideways\n", &w, &error));
+  EXPECT_FALSE(io::ParseWorkloadSpec("attrs 2 0\nquery 1 2 3 4\n", &w,
+                                     &error));  // ids must start at 1
+  EXPECT_FALSE(io::ParseWorkloadSpec("attrs 1 3 1\nquery 1 2 3 4\n", &w,
+                                     &error));  // dims must increase
+  EXPECT_FALSE(io::ParseWorkloadSpec("", &w, &error));  // no queries
+  EXPECT_FALSE(
+      io::ParseWorkloadSpec("query 1 2 3 4 9\n", &w, &error));  // bad set id
+}
+
+TEST(WorkloadSpecTest, RoundTrip) {
+  Workload w(WindowType::kTime, Metric::kManhattan);
+  const int set = w.AddAttributeSet({1, 3});
+  w.AddQuery(OutlierQuery(2.5, 4, 100, 10, 0));
+  w.AddQuery(OutlierQuery(7.25, 2, 50, 5, set));
+  const std::string text = io::FormatWorkloadSpec(w);
+  Workload parsed;
+  std::string error;
+  ASSERT_TRUE(io::ParseWorkloadSpec(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.window_type(), w.window_type());
+  EXPECT_EQ(parsed.metric(), w.metric());
+  ASSERT_EQ(parsed.num_queries(), 2u);
+  EXPECT_EQ(parsed.query(0), w.query(0));
+  EXPECT_EQ(parsed.query(1), w.query(1));
+  EXPECT_EQ(parsed.attribute_sets(), w.attribute_sets());
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,285 @@
+// Unit tests for the K-SKY scan, including the paper's worked examples.
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sop/core/ksky.h"
+#include "sop/query/plan.h"
+#include "sop/stream/stream_buffer.h"
+
+namespace sop {
+namespace {
+
+// Test harness: 1-D points, the evaluated point p at value 0 with seq 0,
+// candidates at value == their distance to p, count-based windows.
+class KSkyHarness {
+ public:
+  KSkyHarness(std::vector<OutlierQuery> queries,
+              const std::vector<double>& distances,
+              KSky::Options options = KSky::Options())
+      : workload_(MakeWorkload(std::move(queries))),
+        plan_(workload_),
+        ksky_(&plan_, workload_.MakeDistanceFn(0), options),
+        buffer_(WindowType::kCount) {
+    buffer_.Append(Point(0, 0, {0.0}));  // p itself
+    for (size_t i = 0; i < distances.size(); ++i) {
+      const Seq s = static_cast<Seq>(i) + 1;
+      buffer_.Append(Point(s, s, {distances[i]}));
+    }
+  }
+
+  // Runs a from-scratch scan for p; returns whether p is Safe-For-All.
+  bool Scan(LSky* skyband) {
+    return ksky_.EvaluatePoint(buffer_.At(0), buffer_, buffer_.next_seq(),
+                               /*swift_window_start=*/0,
+                               /*from_scratch=*/true, skyband);
+  }
+
+  std::vector<Seq> SkybandSeqs(const LSky& skyband) const {
+    std::vector<Seq> seqs;
+    for (const SkybandEntry& e : skyband.entries()) seqs.push_back(e.seq);
+    return seqs;
+  }
+
+  static Workload MakeWorkload(std::vector<OutlierQuery> queries) {
+    Workload w(WindowType::kCount);
+    for (const OutlierQuery& q : queries) w.AddQuery(q);
+    return w;
+  }
+
+  const KSkyScanStats& stats() const { return ksky_.last_stats(); }
+  StreamBuffer& buffer() { return buffer_; }
+  KSky& ksky() { return ksky_; }
+  const WorkloadPlan& plan() const { return plan_; }
+
+ private:
+  Workload workload_;
+  WorkloadPlan plan_;
+  KSky ksky_;
+  StreamBuffer buffer_;
+};
+
+// Paper Example 1 / Example 2 (Fig. 2): queries q1(1), q2(2), q3(3), k=3;
+// candidate distances 2,3,2,1,1,4,3,2 in arrival order. The skyband must
+// be {p4, p5, p7, p8} and is discovered newest-first.
+TEST(KSkyTest, PaperExample1SkybandContent) {
+  KSkyHarness h({{1.0, 3, 100, 10}, {2.0, 3, 100, 10}, {3.0, 3, 100, 10}},
+                {2, 3, 2, 1, 1, 4, 3, 2});
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{8, 7, 5, 4}));
+  // Layers per Def. 4: p8 -> B2, p7 -> B3, p5/p4 -> B1.
+  EXPECT_EQ(skyband.entries()[0].layer, 2);
+  EXPECT_EQ(skyband.entries()[1].layer, 3);
+  EXPECT_EQ(skyband.entries()[2].layer, 1);
+  EXPECT_EQ(skyband.entries()[3].layer, 1);
+}
+
+// The k-distance observation on Example 1: with the skyband above, p has
+// 3 neighbors within r=2 (k-distance 2), so p is an outlier for q1 only.
+TEST(KSkyTest, PaperExample1OutlierStatus) {
+  KSkyHarness h({{1.0, 3, 100, 10}, {2.0, 3, 100, 10}, {3.0, 3, 100, 10}},
+                {2, 3, 2, 1, 1, 4, 3, 2});
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_LT(skyband.CountWithin(1, 0, 3), 3);  // q1(r=1): outlier
+  EXPECT_GE(skyband.CountWithin(2, 0, 3), 3);  // q2(r=2): inlier
+  EXPECT_GE(skyband.CountWithin(3, 0, 3), 3);  // q3(r=3): inlier
+}
+
+// Example 1's window slide (Fig. 1): p4 expires; newcomers are all far
+// away. p7 becomes part of p's kNN and p turns into an outlier for q2.
+TEST(KSkyTest, PaperExample1NecessityAfterSlide) {
+  KSkyHarness h({{1.0, 3, 100, 10}, {2.0, 3, 100, 10}, {3.0, 3, 100, 10}},
+                {2, 3, 2, 1, 1, 4, 3, 2});
+  LSky skyband;
+  h.Scan(&skyband);
+  // Newcomers p9..p12 at distance > 3.
+  for (Seq s = 9; s <= 12; ++s) h.buffer().Append(Point(s, s, {5.0}));
+  // Incremental rescan with the window now starting at key 5 (p4 gone).
+  h.ksky().EvaluatePoint(h.buffer().At(0), h.buffer(), 9, 5,
+                         /*from_scratch=*/false, &skyband);
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{8, 7, 5}));
+  EXPECT_LT(skyband.CountWithin(2, 5, 3), 3);  // q2: now outlier
+  EXPECT_GE(skyband.CountWithin(3, 5, 3), 3);  // q3: still inlier
+}
+
+// Paper Example 3 (Figs. 3-4): QG1 = k=2, rs {1,3,4}; QG2 = k=3,
+// rs {2,3,4}. Def. 6 admits p6 (layer 4, dominated by 2 < k_max points).
+TEST(KSkyTest, PaperExample3MultiGroupSkyband) {
+  KSkyHarness h({{1.0, 2, 100, 10},
+                 {3.0, 2, 100, 10},
+                 {4.0, 2, 100, 10},
+                 {2.0, 3, 100, 10},
+                 {3.0, 3, 100, 10},
+                 {4.0, 3, 100, 10}},
+                {2, 3, 2, 1, 1, 4, 3, 2});
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{8, 7, 6, 5, 4}));
+  // Status per the paper: inlier for every query in both groups.
+  EXPECT_GE(skyband.CountWithin(1, 0, 2), 2);  // QG1 r=1
+  EXPECT_GE(skyband.CountWithin(3, 0, 2), 2);  // QG1 r=3
+  EXPECT_GE(skyband.CountWithin(2, 0, 3), 3);  // QG2 r=2
+  EXPECT_GE(skyband.CountWithin(4, 0, 3), 3);  // QG2 r=4
+}
+
+// Def. 6 condition 3: a candidate dominated by c points is discarded when
+// no group with k > c covers its layer.
+TEST(KSkyTest, Condition3DiscardsUselessCandidates) {
+  // Group k=1 covers layers {1,2} (rs 1,5); group k=3 covers layer 1 only.
+  // Candidate at distance 5 (layer 2) dominated by 1 point serves nobody:
+  // k=1 is already saturated, k=3 does not reach layer 2.
+  KSkyHarness h({{1.0, 1, 100, 10}, {5.0, 1, 100, 10}, {1.0, 3, 100, 10}},
+                /*distances=*/{5, 5, 5});
+  // Scan order: p3(d=5,l=2,c=0) kept; p2(d=5,l=2,c=1): no group with k>1
+  // reaches layer 2 -> discarded; p1 likewise.
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{3}));
+}
+
+TEST(KSkyTest, Condition3OffKeepsPlainSkyband) {
+  KSky::Options options;
+  options.condition3_pruning = false;
+  KSkyHarness h({{1.0, 1, 100, 10}, {5.0, 1, 100, 10}, {1.0, 3, 100, 10}},
+                {5, 5, 5}, options);
+  LSky skyband;
+  h.Scan(&skyband);
+  // Plain (k_max-1)-skyband keeps all candidates dominated by < 3 points.
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{3, 2, 1}));
+}
+
+// Early termination: once layer 1 holds k_max entries, older candidates
+// are never examined.
+TEST(KSkyTest, TerminatesOnLayer1Saturation) {
+  KSkyHarness h({{10.0, 2, 100, 10}},
+                /*distances=*/{1, 1, 1, 1, 1, 1, 1, 1});
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_TRUE(h.stats().terminated_early);
+  // Newest two candidates only (k_max = 2).
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{8, 7}));
+  EXPECT_EQ(h.stats().candidates_examined, 2);
+}
+
+TEST(KSkyTest, TerminationOffScansEverything) {
+  KSky::Options options;
+  options.early_termination = false;
+  KSkyHarness h({{10.0, 2, 100, 10}}, {1, 1, 1, 1, 1, 1, 1, 1}, options);
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_FALSE(h.stats().terminated_early);
+  EXPECT_EQ(h.stats().candidates_examined, 8);
+  // Content identical to the terminated scan.
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{8, 7}));
+}
+
+// Candidates beyond the largest r are nobody's neighbor and never enter
+// the skyband (Def. 5 condition 3).
+TEST(KSkyTest, FarPointsIgnored) {
+  KSkyHarness h({{2.0, 2, 100, 10}}, {100, 3, 100, 1, 100});
+  LSky skyband;
+  h.Scan(&skyband);
+  EXPECT_EQ(h.SkybandSeqs(skyband), (std::vector<Seq>{4}));
+}
+
+// Time-based windows: skyband entries carry timestamps as keys, expiry and
+// window counting use them, while domination order stays arrival order.
+TEST(KSkyTest, TimeBasedKeysInSkyband) {
+  Workload w(WindowType::kTime);
+  w.AddQuery(OutlierQuery(2.0, 2, 100, 10));
+  WorkloadPlan plan(w);
+  KSky ksky(&plan, w.MakeDistanceFn(0));
+  StreamBuffer buffer(WindowType::kTime);
+  // Timestamps with ties and gaps; p is seq 0 at time 5.
+  buffer.Append(Point(0, 5, {0.0}));
+  buffer.Append(Point(1, 5, {1.0}));
+  buffer.Append(Point(2, 20, {1.5}));
+  buffer.Append(Point(3, 20, {9.0}));  // too far: not a neighbor
+  buffer.Append(Point(4, 31, {0.5}));
+  LSky skyband;
+  ksky.EvaluatePoint(buffer.At(0), buffer, buffer.next_seq(), 0, true,
+                     &skyband);
+  // k_max = 2: the two newest neighbors saturate layer 1 and terminate.
+  ASSERT_EQ(skyband.size(), 2u);
+  EXPECT_EQ(skyband.entries()[0].seq, 4);
+  EXPECT_EQ(skyband.entries()[0].key, 31);  // timestamp, not seq
+  EXPECT_EQ(skyband.entries()[1].seq, 2);
+  EXPECT_EQ(skyband.entries()[1].key, 20);
+  // Window [25, 35): only the time-31 neighbor counts.
+  EXPECT_EQ(skyband.CountWithin(1, 25, 10), 1);
+  // Expiry by timestamp.
+  EXPECT_EQ(skyband.ExpireBefore(21), 1u);
+  EXPECT_EQ(skyband.entries()[0].seq, 4);
+}
+
+// Safe-For-All: p (seq 0, earliest) with k_max succeeding neighbors within
+// every group's min layer is safe; with too few, it is not.
+TEST(KSkyTest, SafeForAllDetection) {
+  KSkyHarness safe({{1.0, 2, 100, 10}, {3.0, 3, 100, 10}},
+                   /*distances=*/{1, 1, 2, 3});
+  LSky skyband;
+  EXPECT_TRUE(safe.Scan(&skyband));
+
+  // Only one succeeding neighbor within r=1: group k=2 unsatisfied.
+  KSkyHarness unsafe({{1.0, 2, 100, 10}, {3.0, 3, 100, 10}},
+                     /*distances=*/{1, 2, 2, 3});
+  EXPECT_FALSE(unsafe.Scan(&skyband));
+}
+
+// A point with enough neighbors that nonetheless *precede* it must not be
+// declared safe (they expire before it does).
+TEST(KSkyTest, PrecedingNeighborsDoNotMakeSafe) {
+  // Evaluate the NEWEST point: p at seq 0 is replaced by evaluating seq 4.
+  Workload w = KSkyHarness::MakeWorkload({{1.0, 2, 100, 10}});
+  WorkloadPlan plan(w);
+  KSky ksky(&plan, w.MakeDistanceFn(0));
+  StreamBuffer buffer(WindowType::kCount);
+  for (Seq s = 0; s < 5; ++s) buffer.Append(Point(s, s, {0.0}));
+  LSky skyband;
+  // The newest point has 4 preceding neighbors at distance 0, no
+  // succeeding ones.
+  EXPECT_FALSE(ksky.EvaluatePoint(buffer.At(4), buffer, buffer.next_seq(), 0,
+                                  true, &skyband));
+  // An older point with >= 2 succeeding neighbors is safe.
+  EXPECT_TRUE(ksky.EvaluatePoint(buffer.At(1), buffer, buffer.next_seq(), 0,
+                                 true, &skyband));
+}
+
+// Least examination: the incremental rescan touches only new arrivals and
+// previous skyband entries, and recomputes distances only for the former.
+// When no new arrival enters the skyband, the previous entries are not
+// even re-examined (their admission decisions replay unchanged).
+TEST(KSkyTest, LeastExaminationScanCosts) {
+  KSkyHarness h({{5.0, 2, 100, 10}}, {1, 2, 3, 4, 1, 2, 3, 4});
+  LSky skyband;
+  h.Scan(&skyband);
+  const size_t skyband_size = skyband.size();
+  const auto skyband_before = skyband.entries();
+  // Two new arrivals, far away: distances computed, nothing admitted,
+  // re-admission of old entries skipped.
+  h.buffer().Append(Point(9, 9, {50.0}));
+  h.buffer().Append(Point(10, 10, {50.0}));
+  h.ksky().EvaluatePoint(h.buffer().At(0), h.buffer(), 9, 0,
+                         /*from_scratch=*/false, &skyband);
+  EXPECT_EQ(h.stats().distances_computed, 2);  // the new arrivals only
+  EXPECT_EQ(h.stats().candidates_examined, 2);
+  EXPECT_EQ(skyband.entries(), skyband_before);  // unchanged
+  // Two nearby arrivals: one enters the skyband, so old entries are
+  // re-examined — until layer-1 saturation terminates the scan after the
+  // first of the two old entries (k_max = 2 reached).
+  (void)skyband_size;
+  h.buffer().Append(Point(11, 11, {1.0}));
+  h.buffer().Append(Point(12, 12, {50.0}));
+  h.ksky().EvaluatePoint(h.buffer().At(0), h.buffer(), 11, 0,
+                         /*from_scratch=*/false, &skyband);
+  EXPECT_EQ(h.stats().distances_computed, 2);
+  EXPECT_EQ(h.stats().candidates_examined, 3);
+  ASSERT_EQ(skyband.size(), 2u);
+  EXPECT_EQ(skyband.entries()[0].seq, 11);
+  EXPECT_EQ(skyband.entries()[1].seq, 8);
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,80 @@
+// Unit tests for the LSky skyband structure.
+
+#include "gtest/gtest.h"
+#include "sop/core/lsky.h"
+
+namespace sop {
+namespace {
+
+// Appends entries with seq == key (count-based style).
+void Append(LSky* sky, Seq seq, int32_t layer) {
+  sky->Append({seq, seq, layer});
+}
+
+TEST(LSkyTest, AppendKeepsDescendingOrder) {
+  LSky sky;
+  Append(&sky, 9, 2);
+  Append(&sky, 7, 1);
+  Append(&sky, 3, 3);
+  ASSERT_EQ(sky.size(), 3u);
+  EXPECT_EQ(sky.entries()[0].seq, 9);
+  EXPECT_EQ(sky.entries()[2].seq, 3);
+}
+
+TEST(LSkyTest, ExpireBeforeDropsOldSuffix) {
+  LSky sky;
+  Append(&sky, 9, 1);
+  Append(&sky, 7, 1);
+  Append(&sky, 3, 1);
+  Append(&sky, 1, 1);
+  EXPECT_EQ(sky.ExpireBefore(4), 2u);
+  ASSERT_EQ(sky.size(), 2u);
+  EXPECT_EQ(sky.entries().back().seq, 7);
+  EXPECT_EQ(sky.ExpireBefore(4), 0u);
+  EXPECT_EQ(sky.ExpireBefore(100), 2u);
+  EXPECT_TRUE(sky.empty());
+}
+
+TEST(LSkyTest, CountWithinFiltersLayerAndKey) {
+  LSky sky;
+  Append(&sky, 9, 2);
+  Append(&sky, 8, 1);
+  Append(&sky, 6, 3);
+  Append(&sky, 4, 1);
+  Append(&sky, 2, 2);
+  // All entries, any layer.
+  EXPECT_EQ(sky.CountWithin(3, 0, 100), 5);
+  // Layer filter.
+  EXPECT_EQ(sky.CountWithin(1, 0, 100), 2);
+  EXPECT_EQ(sky.CountWithin(2, 0, 100), 4);
+  // Key filter: only entries with key >= 5.
+  EXPECT_EQ(sky.CountWithin(3, 5, 100), 3);
+  EXPECT_EQ(sky.CountWithin(1, 5, 100), 1);
+  // Early stop.
+  EXPECT_EQ(sky.CountWithin(3, 0, 2), 2);
+}
+
+TEST(LSkyTest, ClearAndRelease) {
+  LSky sky;
+  Append(&sky, 5, 1);
+  sky.Clear();
+  EXPECT_TRUE(sky.empty());
+  Append(&sky, 5, 1);
+  EXPECT_GT(sky.MemoryBytes(), 0u);
+  sky.Release();
+  EXPECT_TRUE(sky.empty());
+  EXPECT_EQ(sky.MemoryBytes(), 0u);
+}
+
+TEST(LSkyTest, SwapExchangesContents) {
+  LSky a;
+  LSky b;
+  Append(&a, 5, 1);
+  a.Swap(&b);
+  EXPECT_TRUE(a.empty());
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.entries()[0].seq, 5);
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,166 @@
+// Unit tests for sop/query: queries, workloads, and the compiled plan
+// (normalized distance layers, k-groups, Def-6 table, safety staircase,
+// swift-query parameters).
+
+#include "gtest/gtest.h"
+#include "sop/query/plan.h"
+#include "sop/query/query.h"
+#include "sop/query/workload.h"
+
+namespace sop {
+namespace {
+
+Workload MakeWorkload(std::vector<OutlierQuery> queries) {
+  Workload w(WindowType::kCount);
+  for (const OutlierQuery& q : queries) w.AddQuery(q);
+  return w;
+}
+
+TEST(QueryTest, ToStringMentionsParameters) {
+  const OutlierQuery q(1.5, 3, 100, 10);
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("r=1.5"), std::string::npos);
+  EXPECT_NE(s.find("k=3"), std::string::npos);
+  EXPECT_NE(s.find("win=100"), std::string::npos);
+  EXPECT_NE(s.find("slide=10"), std::string::npos);
+}
+
+TEST(WorkloadTest, ValidateCatchesBadParameters) {
+  EXPECT_FALSE(Workload().Validate().empty());  // no queries
+  EXPECT_FALSE(
+      MakeWorkload({OutlierQuery(0.0, 3, 100, 10)}).Validate().empty());
+  EXPECT_FALSE(
+      MakeWorkload({OutlierQuery(1.0, 0, 100, 10)}).Validate().empty());
+  EXPECT_FALSE(
+      MakeWorkload({OutlierQuery(1.0, 3, 0, 10)}).Validate().empty());
+  EXPECT_FALSE(
+      MakeWorkload({OutlierQuery(1.0, 3, 100, 0)}).Validate().empty());
+  EXPECT_FALSE(
+      MakeWorkload({OutlierQuery(1.0, 3, 100, 10, /*attribute_set=*/5)})
+          .Validate()
+          .empty());
+  EXPECT_TRUE(
+      MakeWorkload({OutlierQuery(1.0, 3, 100, 10)}).Validate().empty());
+}
+
+TEST(WorkloadTest, AggregatesAndGcd) {
+  Workload w = MakeWorkload({OutlierQuery(1.0, 3, 100, 10),
+                             OutlierQuery(2.0, 7, 400, 25),
+                             OutlierQuery(0.5, 5, 200, 15)});
+  EXPECT_EQ(w.MaxWindow(), 400);
+  EXPECT_EQ(w.MaxK(), 7);
+  EXPECT_EQ(w.SlideGcd(), 5);
+}
+
+TEST(WorkloadTest, AttributeSetsAndDistance) {
+  Workload w(WindowType::kCount);
+  const int set = w.AddAttributeSet({0, 2});
+  EXPECT_EQ(set, 1);
+  w.AddQuery(OutlierQuery(1.0, 3, 100, 10, set));
+  w.AddQuery(OutlierQuery(1.0, 3, 100, 10, 0));
+  const DistanceFn sub = w.MakeDistanceFn(0);
+  EXPECT_EQ(sub.attributes(), (std::vector<int>{0, 2}));
+  const DistanceFn full = w.MakeDistanceFn(1);
+  EXPECT_TRUE(full.attributes().empty());
+}
+
+TEST(PlanTest, LayersAreSortedUniqueRs) {
+  WorkloadPlan plan(MakeWorkload({OutlierQuery(3.0, 2, 100, 10),
+                                  OutlierQuery(1.0, 2, 100, 10),
+                                  OutlierQuery(3.0, 4, 100, 10),
+                                  OutlierQuery(2.0, 2, 100, 10)}));
+  EXPECT_EQ(plan.num_layers(), 3);
+  EXPECT_DOUBLE_EQ(plan.r_of_layer(1), 1.0);
+  EXPECT_DOUBLE_EQ(plan.r_of_layer(2), 2.0);
+  EXPECT_DOUBLE_EQ(plan.r_of_layer(3), 3.0);
+  EXPECT_DOUBLE_EQ(plan.r_min(), 1.0);
+  EXPECT_DOUBLE_EQ(plan.r_max(), 3.0);
+}
+
+TEST(PlanTest, NormalizedDistancePerDef4) {
+  // Paper Def. 4: dist = m+1 when r_m < dist_o <= r_{m+1}.
+  WorkloadPlan plan(MakeWorkload({OutlierQuery(1.0, 3, 100, 10),
+                                  OutlierQuery(2.0, 3, 100, 10),
+                                  OutlierQuery(3.0, 3, 100, 10)}));
+  EXPECT_EQ(plan.LayerOfDistance(0.0), 1);
+  EXPECT_EQ(plan.LayerOfDistance(1.0), 1);  // inclusive upper bound
+  EXPECT_EQ(plan.LayerOfDistance(1.5), 2);
+  EXPECT_EQ(plan.LayerOfDistance(2.0), 2);
+  EXPECT_EQ(plan.LayerOfDistance(3.0), 3);
+  EXPECT_EQ(plan.LayerOfDistance(3.1), 4);  // beyond every r: not a neighbor
+}
+
+TEST(PlanTest, GroupsAndQueryCoordinates) {
+  Workload w = MakeWorkload({OutlierQuery(2.0, 5, 100, 10),
+                             OutlierQuery(1.0, 2, 100, 10),
+                             OutlierQuery(3.0, 2, 100, 10)});
+  WorkloadPlan plan(w);
+  EXPECT_EQ(plan.num_groups(), 2);
+  EXPECT_EQ(plan.k_of_group(0), 2);
+  EXPECT_EQ(plan.k_of_group(1), 5);
+  EXPECT_EQ(plan.k_max(), 5);
+  EXPECT_EQ(plan.group_of_query(0), 1);
+  EXPECT_EQ(plan.group_of_query(1), 0);
+  EXPECT_EQ(plan.layer_of_query(0), 2);
+  EXPECT_EQ(plan.layer_of_query(1), 1);
+  EXPECT_EQ(plan.layer_of_query(2), 3);
+  // Group 0 (k=2) has rs {1,3}; group 1 (k=5) has r {2}.
+  EXPECT_EQ(plan.min_layer_of_group(0), 1);
+  EXPECT_EQ(plan.max_layer_of_group(0), 3);
+  EXPECT_EQ(plan.min_layer_of_group(1), 2);
+  EXPECT_EQ(plan.max_layer_of_group(1), 2);
+}
+
+TEST(PlanTest, MaxLayerForCountMatchesDef6) {
+  // Paper Fig. 3: QG1 = k=2 with rs {1,3,4}; QG2 = k=3 with rs {2,3,4}.
+  Workload w = MakeWorkload(
+      {OutlierQuery(1.0, 2, 100, 10), OutlierQuery(3.0, 2, 100, 10),
+       OutlierQuery(4.0, 2, 100, 10), OutlierQuery(2.0, 3, 100, 10),
+       OutlierQuery(3.0, 3, 100, 10), OutlierQuery(4.0, 3, 100, 10)});
+  WorkloadPlan plan(w);
+  ASSERT_EQ(plan.k_max(), 3);
+  // Candidate dominated by 0 or 1 points: both groups usable, max layer 4.
+  EXPECT_EQ(plan.MaxLayerForCount(0), 4);
+  EXPECT_EQ(plan.MaxLayerForCount(1), 4);
+  // Dominated by 2: only the k=3 group can use it, its max layer is 4.
+  EXPECT_EQ(plan.MaxLayerForCount(2), 4);
+}
+
+TEST(PlanTest, MaxLayerForCountDropsExhaustedGroups) {
+  // Unique rs {1, 3} -> layers 1 and 2. The k=2 group reaches layer 2
+  // (r=3); the k=5 group only covers layer 1 (r=1).
+  Workload w = MakeWorkload(
+      {OutlierQuery(3.0, 2, 100, 10), OutlierQuery(1.0, 5, 100, 10)});
+  WorkloadPlan plan(w);
+  EXPECT_EQ(plan.MaxLayerForCount(0), 2);  // both groups
+  EXPECT_EQ(plan.MaxLayerForCount(1), 2);
+  EXPECT_EQ(plan.MaxLayerForCount(2), 1);  // only k=5 remains
+  EXPECT_EQ(plan.MaxLayerForCount(4), 1);
+}
+
+TEST(PlanTest, SafetyRequirementStaircase) {
+  // Group k=5 min layer 1; group k=2 min layer 2 (implied: 5 >= 2 at an
+  // earlier layer); group k=9 min layer 3.
+  Workload w = MakeWorkload(
+      {OutlierQuery(1.0, 5, 100, 10), OutlierQuery(2.0, 2, 100, 10),
+       OutlierQuery(3.0, 9, 100, 10)});
+  WorkloadPlan plan(w);
+  const auto& reqs = plan.safety_requirements();
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].layer, 1);
+  EXPECT_EQ(reqs[0].k, 5);
+  EXPECT_EQ(reqs[1].layer, 3);
+  EXPECT_EQ(reqs[1].k, 9);
+}
+
+TEST(PlanTest, SwiftQueryParameters) {
+  Workload w = MakeWorkload({OutlierQuery(1.0, 3, 100, 10),
+                             OutlierQuery(1.0, 3, 500, 25),
+                             OutlierQuery(1.0, 3, 300, 40)});
+  WorkloadPlan plan(w);
+  EXPECT_EQ(plan.win_max(), 500);
+  EXPECT_EQ(plan.slide_gcd(), 5);
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,188 @@
+// Tests for SopSession: dynamic query registration/removal over a live
+// stream with history replay.
+
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sop/common/random.h"
+#include "sop/core/session.h"
+#include "test_util.h"
+
+namespace sop {
+namespace {
+
+std::vector<Point> SessionStream(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (Seq s = 0; s < n; ++s) {
+    const double v = rng.Bernoulli(0.15) ? rng.UniformDouble(0, 40)
+                                         : rng.Normal(12, 1.0);
+    points.emplace_back(s, s, std::vector<double>{v});
+  }
+  return points;
+}
+
+// Drives a session over batches of `span` points; collects results per
+// query id.
+std::map<QueryId, std::vector<SessionResult>> Drive(
+    SopSession* session, const std::vector<Point>& points, int64_t span,
+    int64_t from_batch, int64_t to_batch) {
+  std::map<QueryId, std::vector<SessionResult>> out;
+  for (int64_t b = from_batch; b < to_batch; ++b) {
+    std::vector<Point> batch(
+        points.begin() + static_cast<size_t>(b * span),
+        points.begin() + static_cast<size_t>((b + 1) * span));
+    for (SessionResult& r : session->Advance(std::move(batch),
+                                             (b + 1) * span)) {
+      out[r.query_id].push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+TEST(SopSessionTest, StaticWorkloadMatchesOracle) {
+  Workload w(WindowType::kCount);
+  w.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  w.AddQuery(OutlierQuery(3.0, 4, 24, 8));
+  const std::vector<Point> points = SessionStream(96, 5);
+
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  const QueryId q0 = session.AddQuery(w.query(0));
+  const QueryId q1 = session.AddQuery(w.query(1));
+  auto by_id = Drive(&session, points, 4, 0, 24);
+
+  const std::vector<QueryResult> expected =
+      testing::ExpectedResults(w, points);
+  std::map<QueryId, std::vector<const QueryResult*>> expected_by_id;
+  for (const QueryResult& r : expected) {
+    expected_by_id[r.query_index == 0 ? q0 : q1].push_back(&r);
+  }
+  for (const auto& [id, results] : by_id) {
+    const auto& exp = expected_by_id[id];
+    ASSERT_EQ(results.size(), exp.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].boundary, exp[i]->boundary);
+      EXPECT_EQ(results[i].outliers, exp[i]->outliers);
+    }
+  }
+}
+
+TEST(SopSessionTest, AddedQuerySeesReplayedHistory) {
+  // Register q1 only after half the stream; thanks to replay its first
+  // emission must equal what a from-the-start run would produce.
+  const std::vector<Point> points = SessionStream(96, 7);
+  const OutlierQuery q_initial(1.5, 2, 16, 4);
+  const OutlierQuery q_late(2.5, 3, 32, 8);
+
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  session.AddQuery(q_initial);
+  Drive(&session, points, 4, 0, 12);  // first 48 points
+  const QueryId late_id = session.AddQuery(q_late);
+  auto by_id = Drive(&session, points, 4, 12, 24);
+
+  Workload full(WindowType::kCount);
+  full.AddQuery(q_initial);
+  full.AddQuery(q_late);
+  const std::vector<QueryResult> expected =
+      testing::ExpectedResults(full, points);
+  std::vector<const QueryResult*> late_expected;
+  for (const QueryResult& r : expected) {
+    if (r.query_index == 1 && r.boundary > 48) late_expected.push_back(&r);
+  }
+  const auto& late_results = by_id[late_id];
+  ASSERT_EQ(late_results.size(), late_expected.size());
+  for (size_t i = 0; i < late_results.size(); ++i) {
+    EXPECT_EQ(late_results[i].boundary, late_expected[i]->boundary);
+    EXPECT_EQ(late_results[i].outliers, late_expected[i]->outliers)
+        << "late query emission " << i;
+  }
+}
+
+TEST(SopSessionTest, RemovedQueryStopsEmitting) {
+  const std::vector<Point> points = SessionStream(64, 9);
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  const QueryId keep = session.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  const QueryId gone = session.AddQuery(OutlierQuery(2.0, 3, 16, 4));
+  auto first = Drive(&session, points, 4, 0, 8);
+  EXPECT_TRUE(first.count(gone));
+  ASSERT_TRUE(session.RemoveQuery(gone));
+  EXPECT_FALSE(session.RemoveQuery(gone));  // already removed
+  auto second = Drive(&session, points, 4, 8, 16);
+  EXPECT_FALSE(second.count(gone));
+  EXPECT_TRUE(second.count(keep));
+  EXPECT_EQ(session.num_queries(), 1u);
+}
+
+TEST(SopSessionTest, EmptySessionEmitsNothingButRetainsHistory) {
+  const std::vector<Point> points = SessionStream(64, 11);
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  // No queries for the first half.
+  auto early = Drive(&session, points, 4, 0, 8);
+  EXPECT_TRUE(early.empty());
+  // A query added now still sees the retained history.
+  const QueryId id = session.AddQuery(OutlierQuery(1.5, 2, 24, 4));
+  auto late = Drive(&session, points, 4, 8, 9);
+  ASSERT_EQ(late[id].size(), 1u);
+  // Compare to the from-the-start run.
+  Workload w(WindowType::kCount);
+  w.AddQuery(OutlierQuery(1.5, 2, 24, 4));
+  for (const QueryResult& r : testing::ExpectedResults(w, points)) {
+    if (r.boundary == 36) {
+      EXPECT_EQ(late[id][0].outliers, r.outliers);
+    }
+  }
+}
+
+TEST(SopSessionTest, RebuildAfterHistoryTrimStartsMidStream) {
+  // Regression: once history has been trimmed, a rebuild replays batches
+  // whose first point has a non-zero sequence number; the fresh detector
+  // must re-base its buffer instead of rejecting the batch.
+  const std::vector<Point> points = SessionStream(400, 17);
+  SopSession session(WindowType::kCount, Metric::kEuclidean,
+                     /*history_window=*/32);
+  session.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  Drive(&session, points, 4, 0, 50);  // trims well past seq 0
+  // Workload change forces a rebuild from trimmed history.
+  const QueryId late = session.AddQuery(OutlierQuery(2.5, 3, 24, 8));
+  auto results = Drive(&session, points, 4, 50, 100);
+  EXPECT_TRUE(results.count(late));
+  // The late query's emissions match a from-scratch run (its window of 24
+  // is inside the 32-key retained history).
+  Workload w(WindowType::kCount);
+  w.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  w.AddQuery(OutlierQuery(2.5, 3, 24, 8));
+  const std::vector<QueryResult> all_expected =
+      testing::ExpectedResults(w, points);
+  std::map<int64_t, const QueryResult*> expected;
+  for (const QueryResult& r : all_expected) {
+    if (r.query_index == 1 && r.boundary > 200) expected[r.boundary] = &r;
+  }
+  for (const SessionResult& r : results[late]) {
+    ASSERT_TRUE(expected.count(r.boundary));
+    EXPECT_EQ(r.outliers, expected[r.boundary]->outliers)
+        << "boundary " << r.boundary;
+  }
+}
+
+TEST(SopSessionTest, HistoryTrimmingBoundsMemory) {
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 32);
+  session.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  const std::vector<Point> points = SessionStream(400, 13);
+  Drive(&session, points, 4, 0, 50);
+  const size_t mid = session.MemoryBytes();
+  Drive(&session, points, 4, 50, 100);
+  const size_t end = session.MemoryBytes();
+  // Memory stays in the same ballpark instead of growing with the stream.
+  EXPECT_LT(end, mid * 3);
+}
+
+TEST(SopSessionTest, RejectsInvalidQueries) {
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 32);
+  EXPECT_DEATH(session.AddQuery(OutlierQuery(0.0, 2, 16, 4)), "r must");
+  EXPECT_DEATH(session.AddQuery(OutlierQuery(1.0, 2, 16, 4, /*attrs=*/1)),
+               "full attribute space");
+}
+
+}  // namespace
+}  // namespace sop

@@ -1,0 +1,76 @@
+#include "test_util.h"
+
+#include "sop/common/check.h"
+
+namespace sop {
+namespace testing {
+
+namespace {
+
+// Emission boundaries reachable by the stream, mirroring the driver: for
+// count-based workloads, multiples of the slide gcd up to the number of
+// points; for time-based, gcd-aligned boundaries from just after the first
+// timestamp through the first boundary covering the last timestamp.
+std::vector<int64_t> Boundaries(const Workload& workload,
+                                const std::vector<Point>& points) {
+  std::vector<int64_t> boundaries;
+  const int64_t gcd = workload.SlideGcd();
+  if (workload.window_type() == WindowType::kCount) {
+    const int64_t n = static_cast<int64_t>(points.size());
+    for (int64_t b = gcd; b <= n; b += gcd) boundaries.push_back(b);
+  } else {
+    if (points.empty()) return boundaries;
+    const int64_t first =
+        FirstBoundaryAtOrAfter(points.front().time + 1, gcd);
+    const int64_t last = FirstBoundaryAtOrAfter(points.back().time + 1, gcd);
+    for (int64_t b = first; b <= last; b += gcd) boundaries.push_back(b);
+  }
+  return boundaries;
+}
+
+}  // namespace
+
+std::vector<QueryResult> ExpectedResults(const Workload& workload,
+                                         std::vector<Point> points) {
+  SOP_CHECK_MSG(workload.Validate().empty(), workload.Validate().c_str());
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].seq = static_cast<Seq>(i);
+  }
+  const WindowType type = workload.window_type();
+  std::vector<DistanceFn> dist;
+  dist.reserve(workload.num_queries());
+  for (size_t i = 0; i < workload.num_queries(); ++i) {
+    dist.push_back(workload.MakeDistanceFn(i));
+  }
+
+  std::vector<QueryResult> results;
+  for (int64_t boundary : Boundaries(workload, points)) {
+    for (size_t qi = 0; qi < workload.num_queries(); ++qi) {
+      const OutlierQuery& q = workload.query(qi);
+      if (boundary % q.slide != 0) continue;
+      const int64_t start = boundary - q.win;
+      // Window population: key in [start, boundary).
+      std::vector<const Point*> window;
+      for (const Point& p : points) {
+        const int64_t key = PointKey(p, type);
+        if (key >= start && key < boundary) window.push_back(&p);
+      }
+      QueryResult result;
+      result.query_index = qi;
+      result.boundary = boundary;
+      for (const Point* p : window) {
+        int64_t neighbors = 0;
+        for (const Point* other : window) {
+          if (other == p) continue;
+          if (dist[qi](*p, *other) <= q.r) ++neighbors;
+        }
+        if (neighbors < q.k) result.outliers.push_back(p->seq);
+      }
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+}  // namespace testing
+}  // namespace sop

@@ -1,0 +1,99 @@
+// Shared helpers for the libsop test suite.
+//
+// The centerpiece is ExpectedResults(): an independent reimplementation of
+// the normative window/emission semantics (DESIGN.md Sec. 2) plus brute-
+// force neighbor counting, used as the oracle every detector — including
+// NaiveDetector — is checked against.
+
+#ifndef SOP_TESTS_TEST_UTIL_H_
+#define SOP_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sop/common/point.h"
+#include "sop/detector/detector.h"
+#include "sop/detector/driver.h"
+#include "sop/query/workload.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+namespace testing {
+
+/// Builds a 1-D point list from values; timestamps default to 0,1,2,...
+inline std::vector<Point> Points1D(const std::vector<double>& values) {
+  std::vector<Point> points;
+  points.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    points.emplace_back(static_cast<Seq>(i), static_cast<Timestamp>(i),
+                        std::vector<double>{values[i]});
+  }
+  return points;
+}
+
+/// Builds a 1-D point list with explicit timestamps.
+inline std::vector<Point> Points1D(const std::vector<Timestamp>& times,
+                                   const std::vector<double>& values) {
+  std::vector<Point> points;
+  points.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    points.emplace_back(static_cast<Seq>(i), times[i],
+                        std::vector<double>{values[i]});
+  }
+  return points;
+}
+
+/// One-line rendering of a QueryResult for failure messages.
+inline std::string ResultToString(const QueryResult& r) {
+  std::ostringstream out;
+  out << "q" << r.query_index << "@" << r.boundary << ":{";
+  for (size_t i = 0; i < r.outliers.size(); ++i) {
+    if (i > 0) out << ",";
+    out << r.outliers[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+/// Independent oracle: replays the normative batching/emission schedule
+/// over `points` (seqs are reassigned 0..n-1) and computes each emission's
+/// outliers by brute force.
+std::vector<QueryResult> ExpectedResults(const Workload& workload,
+                                         std::vector<Point> points);
+
+/// Asserts two result lists are identical (order, boundaries, outliers).
+inline void ExpectSameResults(const std::vector<QueryResult>& expected,
+                              const std::vector<QueryResult>& actual,
+                              const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label << ": emission count";
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].query_index, actual[i].query_index)
+        << label << " emission " << i;
+    EXPECT_EQ(expected[i].boundary, actual[i].boundary)
+        << label << " emission " << i;
+    EXPECT_EQ(expected[i].outliers, actual[i].outliers)
+        << label << " emission " << i << "\n  expected "
+        << ResultToString(expected[i]) << "\n  actual   "
+        << ResultToString(actual[i]);
+  }
+}
+
+/// Runs `detector` over `points` and checks it against the oracle.
+inline void ExpectMatchesOracle(const Workload& workload,
+                                const std::vector<Point>& points,
+                                OutlierDetector* detector,
+                                const std::string& label) {
+  std::vector<QueryResult> expected = ExpectedResults(workload, points);
+  std::vector<QueryResult> actual =
+      CollectResults(workload, points, detector);
+  ExpectSameResults(expected, actual, label);
+}
+
+}  // namespace testing
+}  // namespace sop
+
+#endif  // SOP_TESTS_TEST_UTIL_H_

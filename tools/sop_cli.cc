@@ -1,0 +1,170 @@
+// sop_cli: run a multi-query outlier workload over a stream from the
+// command line.
+//
+// Usage:
+//   sop_cli --workload spec.txt (--data points.csv | --synthetic N | --stt N)
+//           [--detector sop|grouped-sop|leap|mcod|mcod-grid|naive]
+//           [--print-outliers] [--aggregate] [--max-print N] [--seed S]
+//
+// The workload spec format is documented in sop/io/workload_parser.h.
+// Prints run metrics (the paper's CPU/MEM measures) and, optionally, every
+// emission's outliers.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sop/detector/driver.h"
+#include "sop/detector/factory.h"
+#include "sop/gen/stt.h"
+#include "sop/gen/synthetic.h"
+#include "sop/io/csv.h"
+#include "sop/io/workload_parser.h"
+#include "sop/report/aggregate.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --workload spec.txt (--data points.csv | --synthetic N |"
+      " --stt N)\n"
+      "          [--detector sop|leap|mcod|naive] [--print-outliers]\n"
+      "          [--max-print N] [--seed S]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sop;
+
+  std::string workload_path;
+  std::string data_path;
+  int64_t synthetic_n = 0;
+  int64_t stt_n = 0;
+  DetectorKind kind = DetectorKind::kSop;
+  bool print_outliers = false;
+  bool aggregate = false;
+  int64_t max_print = 20;
+  uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_path = next();
+    } else if (arg == "--data") {
+      data_path = next();
+    } else if (arg == "--synthetic") {
+      synthetic_n = std::atoll(next());
+    } else if (arg == "--stt") {
+      stt_n = std::atoll(next());
+    } else if (arg == "--detector") {
+      const char* name = next();
+      if (!ParseDetectorKind(name, &kind)) {
+        std::fprintf(stderr, "unknown detector: %s\n", name);
+        return 2;
+      }
+    } else if (arg == "--print-outliers") {
+      print_outliers = true;
+    } else if (arg == "--aggregate") {
+      aggregate = true;
+    } else if (arg == "--max-print") {
+      max_print = std::atoll(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (workload_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+  Workload workload;
+  std::string error;
+  if (!io::LoadWorkloadSpec(workload_path, &workload, &error)) {
+    std::fprintf(stderr, "workload error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<StreamSource> source;
+  if (!data_path.empty()) {
+    std::vector<Point> points;
+    if (!io::LoadPointsCsv(data_path, &points, &error)) {
+      std::fprintf(stderr, "data error: %s\n", error.c_str());
+      return 1;
+    }
+    source = std::make_unique<VectorSource>(std::move(points));
+  } else if (synthetic_n > 0) {
+    gen::SyntheticOptions options;
+    options.seed = seed;
+    source = std::make_unique<gen::SyntheticSource>(synthetic_n, options);
+  } else if (stt_n > 0) {
+    gen::SttOptions options;
+    options.seed = seed;
+    source = std::make_unique<gen::SttSource>(stt_n, options);
+  } else {
+    std::fprintf(stderr, "no data source given\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::unique_ptr<OutlierDetector> detector = CreateDetector(kind, workload);
+  std::fprintf(stderr, "running %zu queries with detector '%s'...\n",
+               workload.num_queries(), detector->name());
+
+  int64_t printed = 0;
+  report::OutlierAggregator aggregator;
+  const RunMetrics metrics = RunStream(
+      workload, source.get(), detector.get(), [&](const QueryResult& r) {
+        if (aggregate) aggregator.Add(r);
+        if (!print_outliers || r.outliers.empty()) return;
+        if (printed++ >= max_print) return;
+        std::printf("query %zu @ %lld:", r.query_index,
+                    static_cast<long long>(r.boundary));
+        size_t shown = 0;
+        for (Seq s : r.outliers) {
+          if (++shown > 16) {
+            std::printf(" ... (%zu total)", r.outliers.size());
+            break;
+          }
+          std::printf(" %lld", static_cast<long long>(s));
+        }
+        std::printf("\n");
+      });
+
+  if (aggregate) {
+    // Per-point pivot (the paper's Alg. 3 output format) of the last few
+    // boundaries.
+    const std::vector<int64_t> boundaries = aggregator.Boundaries();
+    const size_t show = std::min<size_t>(boundaries.size(), 3);
+    for (size_t i = boundaries.size() - show; i < boundaries.size(); ++i) {
+      std::printf("--- outliers at boundary %lld ---\n%s",
+                  static_cast<long long>(boundaries[i]),
+                  aggregator.ToString(boundaries[i]).c_str());
+    }
+    std::printf("flagged %zu distinct points across %zu point-windows\n",
+                aggregator.NumDistinctPoints(),
+                aggregator.NumFlaggedPointWindows());
+  }
+  std::printf("%s\n", metrics.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// sop_datagen: materialize benchmark datasets and workload specs to disk,
+// for use with sop_cli or external tooling.
+//
+// Usage:
+//   sop_datagen --kind synthetic|stt --n N --out points.csv [--seed S]
+//               [--dims D] [--outlier-rate F]
+//   sop_datagen --kind workload --case A..G --queries Q --out spec.txt
+//               [--seed S] [--window-type count|time]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sop/gen/stt.h"
+#include "sop/gen/synthetic.h"
+#include "sop/gen/workload_gen.h"
+#include "sop/io/csv.h"
+#include "sop/io/workload_parser.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --kind synthetic|stt --n N --out points.csv [--seed S]\n"
+      "          [--dims D] [--outlier-rate F]\n"
+      "       %s --kind workload --case A..G --queries Q --out spec.txt\n"
+      "          [--seed S] [--window-type count|time]\n",
+      argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sop;
+
+  std::string kind;
+  std::string out_path;
+  std::string wcase_name = "G";
+  std::string window_type_name = "count";
+  int64_t n = 0;
+  size_t queries = 100;
+  uint64_t seed = 42;
+  int dims = 2;
+  double outlier_rate = 0.03;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kind") {
+      kind = next();
+    } else if (arg == "--n") {
+      n = std::atoll(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--dims") {
+      dims = std::atoi(next());
+    } else if (arg == "--outlier-rate") {
+      outlier_rate = std::atof(next());
+    } else if (arg == "--case") {
+      wcase_name = next();
+    } else if (arg == "--queries") {
+      queries = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--window-type") {
+      window_type_name = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (out_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  if (kind == "synthetic" || kind == "stt") {
+    if (n <= 0) {
+      std::fprintf(stderr, "--n must be positive\n");
+      return 2;
+    }
+    std::vector<Point> points;
+    if (kind == "synthetic") {
+      gen::SyntheticOptions options;
+      options.seed = seed;
+      options.dimensions = dims;
+      options.outlier_rate = outlier_rate;
+      points = gen::GenerateSynthetic(n, options);
+    } else {
+      gen::SttOptions options;
+      options.seed = seed;
+      options.anomaly_rate = outlier_rate;
+      points = gen::GenerateStt(n, options);
+    }
+    if (!io::SavePointsCsv(out_path, points, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu %s points to %s\n", points.size(),
+                 kind.c_str(), out_path.c_str());
+    return 0;
+  }
+
+  if (kind == "workload") {
+    gen::WorkloadCase wcase;
+    if (!gen::ParseWorkloadCase(wcase_name, &wcase)) {
+      std::fprintf(stderr, "bad --case %s (expect A..G)\n",
+                   wcase_name.c_str());
+      return 2;
+    }
+    const WindowType type =
+        window_type_name == "time" ? WindowType::kTime : WindowType::kCount;
+    gen::WorkloadGenOptions options;
+    options.seed = seed;
+    const Workload workload =
+        gen::GenerateWorkload(wcase, queries, type, options);
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string spec = io::FormatWorkloadSpec(workload);
+    std::fwrite(spec.data(), 1, spec.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu case-%s queries to %s\n", queries,
+                 wcase_name.c_str(), out_path.c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
+  Usage(argv[0]);
+  return 2;
+}
