@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_group_sharing.dir/ablation_group_sharing.cc.o"
+  "CMakeFiles/ablation_group_sharing.dir/ablation_group_sharing.cc.o.d"
+  "ablation_group_sharing"
+  "ablation_group_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sop.dir/ablation_sop.cc.o"
+  "CMakeFiles/ablation_sop.dir/ablation_sop.cc.o.d"
+  "ablation_sop"
+  "ablation_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_vary_r.dir/fig07_vary_r.cc.o"
+  "CMakeFiles/fig07_vary_r.dir/fig07_vary_r.cc.o.d"
+  "fig07_vary_r"
+  "fig07_vary_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vary_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vary_k_r.dir/fig09_vary_k_r.cc.o"
+  "CMakeFiles/fig09_vary_k_r.dir/fig09_vary_k_r.cc.o.d"
+  "fig09_vary_k_r"
+  "fig09_vary_k_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vary_k_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

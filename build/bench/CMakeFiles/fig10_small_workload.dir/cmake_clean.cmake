@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_small_workload.dir/fig10_small_workload.cc.o"
+  "CMakeFiles/fig10_small_workload.dir/fig10_small_workload.cc.o.d"
+  "fig10_small_workload"
+  "fig10_small_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_small_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

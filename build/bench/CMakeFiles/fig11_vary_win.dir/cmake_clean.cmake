@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vary_win.dir/fig11_vary_win.cc.o"
+  "CMakeFiles/fig11_vary_win.dir/fig11_vary_win.cc.o.d"
+  "fig11_vary_win"
+  "fig11_vary_win.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vary_win.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

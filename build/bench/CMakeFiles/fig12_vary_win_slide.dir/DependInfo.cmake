@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_vary_win_slide.cc" "bench/CMakeFiles/fig12_vary_win_slide.dir/fig12_vary_win_slide.cc.o" "gcc" "bench/CMakeFiles/fig12_vary_win_slide.dir/fig12_vary_win_slide.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sop_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_factory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_detector_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vary_win_slide.dir/fig12_vary_win_slide.cc.o"
+  "CMakeFiles/fig12_vary_win_slide.dir/fig12_vary_win_slide.cc.o.d"
+  "fig12_vary_win_slide"
+  "fig12_vary_win_slide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_win_slide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

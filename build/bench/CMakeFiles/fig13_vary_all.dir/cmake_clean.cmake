@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vary_all.dir/fig13_vary_all.cc.o"
+  "CMakeFiles/fig13_vary_all.dir/fig13_vary_all.cc.o.d"
+  "fig13_vary_all"
+  "fig13_vary_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vary_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcod_index.dir/mcod_index.cc.o"
+  "CMakeFiles/mcod_index.dir/mcod_index.cc.o.d"
+  "mcod_index"
+  "mcod_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcod_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

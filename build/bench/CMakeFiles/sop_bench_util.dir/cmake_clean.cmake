@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_bench_util.dir/figure.cc.o"
+  "CMakeFiles/sop_bench_util.dir/figure.cc.o.d"
+  "libsop_bench_util.a"
+  "libsop_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_vs_count_windows.dir/time_vs_count_windows.cc.o"
+  "CMakeFiles/time_vs_count_windows.dir/time_vs_count_windows.cc.o.d"
+  "time_vs_count_windows"
+  "time_vs_count_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_vs_count_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

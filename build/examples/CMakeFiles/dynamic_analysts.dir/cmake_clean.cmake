@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_analysts.dir/dynamic_analysts.cpp.o"
+  "CMakeFiles/dynamic_analysts.dir/dynamic_analysts.cpp.o.d"
+  "dynamic_analysts"
+  "dynamic_analysts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_analysts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

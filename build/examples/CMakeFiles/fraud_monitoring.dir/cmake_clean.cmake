@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_monitoring.dir/fraud_monitoring.cpp.o"
+  "CMakeFiles/fraud_monitoring.dir/fraud_monitoring.cpp.o.d"
+  "fraud_monitoring"
+  "fraud_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

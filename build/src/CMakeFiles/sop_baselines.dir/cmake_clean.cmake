@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_baselines.dir/sop/baselines/leap.cc.o"
+  "CMakeFiles/sop_baselines.dir/sop/baselines/leap.cc.o.d"
+  "CMakeFiles/sop_baselines.dir/sop/baselines/mcod.cc.o"
+  "CMakeFiles/sop_baselines.dir/sop/baselines/mcod.cc.o.d"
+  "CMakeFiles/sop_baselines.dir/sop/baselines/naive.cc.o"
+  "CMakeFiles/sop_baselines.dir/sop/baselines/naive.cc.o.d"
+  "libsop_baselines.a"
+  "libsop_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_common.dir/sop/common/distance.cc.o"
+  "CMakeFiles/sop_common.dir/sop/common/distance.cc.o.d"
+  "CMakeFiles/sop_common.dir/sop/common/random.cc.o"
+  "CMakeFiles/sop_common.dir/sop/common/random.cc.o.d"
+  "libsop_common.a"
+  "libsop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

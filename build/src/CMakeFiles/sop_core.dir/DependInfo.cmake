@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/core/checkpoint.cc" "src/CMakeFiles/sop_core.dir/sop/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/checkpoint.cc.o.d"
+  "/root/repo/src/sop/core/grouped_sop.cc" "src/CMakeFiles/sop_core.dir/sop/core/grouped_sop.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/grouped_sop.cc.o.d"
+  "/root/repo/src/sop/core/ksky.cc" "src/CMakeFiles/sop_core.dir/sop/core/ksky.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/ksky.cc.o.d"
+  "/root/repo/src/sop/core/lsky.cc" "src/CMakeFiles/sop_core.dir/sop/core/lsky.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/lsky.cc.o.d"
+  "/root/repo/src/sop/core/multi_attribute.cc" "src/CMakeFiles/sop_core.dir/sop/core/multi_attribute.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/multi_attribute.cc.o.d"
+  "/root/repo/src/sop/core/session.cc" "src/CMakeFiles/sop_core.dir/sop/core/session.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/session.cc.o.d"
+  "/root/repo/src/sop/core/sop_detector.cc" "src/CMakeFiles/sop_core.dir/sop/core/sop_detector.cc.o" "gcc" "src/CMakeFiles/sop_core.dir/sop/core/sop_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_detector_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_core.dir/sop/core/checkpoint.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/checkpoint.cc.o.d"
+  "CMakeFiles/sop_core.dir/sop/core/grouped_sop.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/grouped_sop.cc.o.d"
+  "CMakeFiles/sop_core.dir/sop/core/ksky.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/ksky.cc.o.d"
+  "CMakeFiles/sop_core.dir/sop/core/lsky.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/lsky.cc.o.d"
+  "CMakeFiles/sop_core.dir/sop/core/multi_attribute.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/multi_attribute.cc.o.d"
+  "CMakeFiles/sop_core.dir/sop/core/session.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/session.cc.o.d"
+  "CMakeFiles/sop_core.dir/sop/core/sop_detector.cc.o"
+  "CMakeFiles/sop_core.dir/sop/core/sop_detector.cc.o.d"
+  "libsop_core.a"
+  "libsop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

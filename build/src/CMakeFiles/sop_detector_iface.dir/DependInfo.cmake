@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/detector/detector.cc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/detector.cc.o" "gcc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/detector.cc.o.d"
+  "/root/repo/src/sop/detector/driver.cc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/driver.cc.o" "gcc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/driver.cc.o.d"
+  "/root/repo/src/sop/detector/metrics.cc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/metrics.cc.o" "gcc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/metrics.cc.o.d"
+  "/root/repo/src/sop/detector/partitioned.cc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/partitioned.cc.o" "gcc" "src/CMakeFiles/sop_detector_iface.dir/sop/detector/partitioned.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/detector.cc.o"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/detector.cc.o.d"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/driver.cc.o"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/driver.cc.o.d"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/metrics.cc.o"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/metrics.cc.o.d"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/partitioned.cc.o"
+  "CMakeFiles/sop_detector_iface.dir/sop/detector/partitioned.cc.o.d"
+  "libsop_detector_iface.a"
+  "libsop_detector_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_detector_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_factory.dir/sop/detector/factory.cc.o"
+  "CMakeFiles/sop_factory.dir/sop/detector/factory.cc.o.d"
+  "libsop_factory.a"
+  "libsop_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

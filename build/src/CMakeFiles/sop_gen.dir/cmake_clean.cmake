@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_gen.dir/sop/gen/stt.cc.o"
+  "CMakeFiles/sop_gen.dir/sop/gen/stt.cc.o.d"
+  "CMakeFiles/sop_gen.dir/sop/gen/synthetic.cc.o"
+  "CMakeFiles/sop_gen.dir/sop/gen/synthetic.cc.o.d"
+  "CMakeFiles/sop_gen.dir/sop/gen/workload_gen.cc.o"
+  "CMakeFiles/sop_gen.dir/sop/gen/workload_gen.cc.o.d"
+  "libsop_gen.a"
+  "libsop_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_index.dir/sop/index/grid.cc.o"
+  "CMakeFiles/sop_index.dir/sop/index/grid.cc.o.d"
+  "libsop_index.a"
+  "libsop_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/io/csv.cc" "src/CMakeFiles/sop_io.dir/sop/io/csv.cc.o" "gcc" "src/CMakeFiles/sop_io.dir/sop/io/csv.cc.o.d"
+  "/root/repo/src/sop/io/workload_parser.cc" "src/CMakeFiles/sop_io.dir/sop/io/workload_parser.cc.o" "gcc" "src/CMakeFiles/sop_io.dir/sop/io/workload_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_io.dir/sop/io/csv.cc.o"
+  "CMakeFiles/sop_io.dir/sop/io/csv.cc.o.d"
+  "CMakeFiles/sop_io.dir/sop/io/workload_parser.cc.o"
+  "CMakeFiles/sop_io.dir/sop/io/workload_parser.cc.o.d"
+  "libsop_io.a"
+  "libsop_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

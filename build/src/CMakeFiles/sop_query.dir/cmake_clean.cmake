@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_query.dir/sop/query/plan.cc.o"
+  "CMakeFiles/sop_query.dir/sop/query/plan.cc.o.d"
+  "CMakeFiles/sop_query.dir/sop/query/query.cc.o"
+  "CMakeFiles/sop_query.dir/sop/query/query.cc.o.d"
+  "CMakeFiles/sop_query.dir/sop/query/workload.cc.o"
+  "CMakeFiles/sop_query.dir/sop/query/workload.cc.o.d"
+  "libsop_query.a"
+  "libsop_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

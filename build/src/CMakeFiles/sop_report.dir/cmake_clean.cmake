@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_report.dir/sop/report/aggregate.cc.o"
+  "CMakeFiles/sop_report.dir/sop/report/aggregate.cc.o.d"
+  "libsop_report.a"
+  "libsop_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

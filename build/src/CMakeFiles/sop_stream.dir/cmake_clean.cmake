@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_stream.dir/sop/stream/stream_buffer.cc.o"
+  "CMakeFiles/sop_stream.dir/sop/stream/stream_buffer.cc.o.d"
+  "CMakeFiles/sop_stream.dir/sop/stream/window.cc.o"
+  "CMakeFiles/sop_stream.dir/sop/stream/window.cc.o.d"
+  "libsop_stream.a"
+  "libsop_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

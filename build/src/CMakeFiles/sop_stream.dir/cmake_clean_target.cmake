@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsop_stream.a"
+)

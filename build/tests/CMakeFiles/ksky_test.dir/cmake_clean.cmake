@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksky_test.dir/ksky_test.cc.o"
+  "CMakeFiles/ksky_test.dir/ksky_test.cc.o.d"
+  "ksky_test"
+  "ksky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

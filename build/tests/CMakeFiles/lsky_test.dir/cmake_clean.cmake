@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsky_test.dir/lsky_test.cc.o"
+  "CMakeFiles/lsky_test.dir/lsky_test.cc.o.d"
+  "lsky_test"
+  "lsky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_detector_test.dir/sop_detector_test.cc.o"
+  "CMakeFiles/sop_detector_test.dir/sop_detector_test.cc.o.d"
+  "sop_detector_test"
+  "sop_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_invariants_test.dir/sop_invariants_test.cc.o"
+  "CMakeFiles/sop_invariants_test.dir/sop_invariants_test.cc.o.d"
+  "sop_invariants_test"
+  "sop_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

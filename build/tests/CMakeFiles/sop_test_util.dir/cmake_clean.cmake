@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_test_util.dir/test_util.cc.o"
+  "CMakeFiles/sop_test_util.dir/test_util.cc.o.d"
+  "libsop_test_util.a"
+  "libsop_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

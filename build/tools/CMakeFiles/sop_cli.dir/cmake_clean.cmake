@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_cli.dir/sop_cli.cc.o"
+  "CMakeFiles/sop_cli.dir/sop_cli.cc.o.d"
+  "sop_cli"
+  "sop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

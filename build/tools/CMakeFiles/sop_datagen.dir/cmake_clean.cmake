@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_datagen.dir/sop_datagen.cc.o"
+  "CMakeFiles/sop_datagen.dir/sop_datagen.cc.o.d"
+  "sop_datagen"
+  "sop_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
