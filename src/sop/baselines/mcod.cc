@@ -80,14 +80,16 @@ void McodDetector::InsertPoint(Seq s) {
     if (d <= cluster_radius && ts.cluster < 0) scratch_close_.push_back(t);
   };
   if (grid_ != nullptr) {
-    // Grid-assisted range query: visit the candidate superset, confirm
-    // exactly, and sort so p's own list stays ascending by key.
+    // Grid-assisted range query: batch the candidate superset into the
+    // reused scratch buffer, confirm exactly, and sort so p's own list
+    // stays ascending by key.
+    grid_->CollectCandidates(p, r_max_, &scratch_seqs_);
     scratch_candidates_.clear();
-    grid_->ForEachCandidate(p, r_max_, [&](Seq t) {
-      if (t >= s) return;  // only preceding points; p not yet indexed
+    for (const Seq t : scratch_seqs_) {
+      if (t >= s) continue;  // only preceding points; p not yet indexed
       const double d = dist_(p, buffer_.At(t));
       if (d <= r_max_) scratch_candidates_.push_back({t, d});
-    });
+    }
     std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
     for (const auto& [t, d] : scratch_candidates_) consider(t, d);
   } else {

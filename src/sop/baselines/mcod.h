@@ -121,7 +121,8 @@ class McodDetector : public OutlierDetector {
   int64_t win_max_ = 0;
   size_t last_results_bytes_ = 0;
   std::vector<Seq> scratch_close_;  // unclustered points within r_min/2
-  std::vector<std::pair<Seq, double>> scratch_candidates_;  // grid hits
+  std::vector<Seq> scratch_seqs_;   // raw grid candidate superset
+  std::vector<std::pair<Seq, double>> scratch_candidates_;  // confirmed hits
 };
 
 }  // namespace sop

@@ -120,7 +120,16 @@ bool SopDetector::LoadState(std::string_view bytes) {
       !r.ReadI64(&stats_.safe_points_discovered)) {
     return false;
   }
-  return r.AtEnd();
+  if (!r.AtEnd()) return false;
+
+  // The grid is derived state: rebuild it from the restored window rather
+  // than serializing it (checkpoints stay index-agnostic).
+  if (grid_ != nullptr) {
+    for (Seq s = buffer_.first_seq(); s < buffer_.next_seq(); ++s) {
+      grid_->Insert(s, buffer_.At(s));
+    }
+  }
+  return true;
 }
 
 }  // namespace sop

@@ -15,7 +15,8 @@ KSky::KSky(const WorkloadPlan* plan, DistanceFn dist, Options options)
 
 bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
                          Seq batch_first_seq, int64_t swift_window_start,
-                         bool from_scratch, LSky* skyband) {
+                         bool from_scratch, LSky* skyband,
+                         const std::vector<Seq>* candidates) {
   stats_ = KSkyScanStats{};
   build_.Clear();
   layer1_count_ = 0;
@@ -24,19 +25,36 @@ bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
   const int num_layers = plan_->num_layers();
   bool keep_scanning = true;
 
-  // Scans buffer points with seq in [lo, hi) from newest to oldest,
-  // computing distances ("search from scratch" / the new-arrivals part of
-  // the incremental rescan).
+  // Examines one buffer point: computes its distance and applies Def. 6.
+  auto examine_seq = [&](Seq s) {
+    const Point& c = buffer.At(s);
+    ++stats_.candidates_examined;
+    ++stats_.distances_computed;
+    const double d = dist_(p, c);
+    const int32_t layer = plan_->LayerOfDistance(d);
+    if (layer > num_layers) return;  // nobody's neighbor (Def. 5 c3)
+    keep_scanning = Examine(s, PointKey(c, type), layer);
+  };
+
+  // Scans points with seq in [lo, hi) from newest to oldest, computing
+  // distances ("search from scratch" / the new-arrivals part of the
+  // incremental rescan). With an index-provided candidate list the scan
+  // walks that list instead of every buffer seq: the skipped points all
+  // have distance > r_max, so the Examine sequence — and the built
+  // skyband — is unchanged.
   auto scan_buffer_range = [&](Seq lo, Seq hi) {
+    if (candidates != nullptr) {
+      for (const Seq s : *candidates) {
+        if (!keep_scanning || s < lo) break;  // seq-descending list
+        if (s >= hi) continue;
+        SOP_DCHECK(s != p.seq);
+        examine_seq(s);
+      }
+      return;
+    }
     for (Seq s = hi - 1; keep_scanning && s >= lo; --s) {
       if (s == p.seq) continue;
-      const Point& c = buffer.At(s);
-      ++stats_.candidates_examined;
-      ++stats_.distances_computed;
-      const double d = dist_(p, c);
-      const int32_t layer = plan_->LayerOfDistance(d);
-      if (layer > num_layers) continue;  // nobody's neighbor (Def. 5 c3)
-      keep_scanning = Examine(s, PointKey(c, type), layer);
+      examine_seq(s);
     }
   };
 

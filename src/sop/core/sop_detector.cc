@@ -1,6 +1,7 @@
 #include "sop/core/sop_detector.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "sop/common/check.h"
@@ -15,6 +16,11 @@ SopDetector::SopDetector(const Workload& workload, Options options)
       ksky_(&plan_, workload.MakeDistanceFn(0), options.ksky),
       buffer_(workload.window_type()) {
   emit_counts_.Reset(plan_.num_layers());
+  if (options_.use_grid_index) {
+    grid_ = std::make_unique<GridIndex>(
+        workload.MakeDistanceFn(0),
+        plan_.r_min() * options_.grid_cell_factor);
+  }
 }
 
 std::vector<QueryResult> SopDetector::Advance(std::vector<Point> batch,
@@ -40,6 +46,18 @@ std::vector<QueryResult> SopDetector::Advance(std::vector<Point> batch,
 
   // Slide the swift window.
   const int64_t swift_start = WindowStart(boundary, plan_.win_max());
+  if (grid_ != nullptr) {
+    // Index the arrivals, then un-index everything expiring — including
+    // arrivals that never make it into the window — while the coordinates
+    // are still alive in the buffer.
+    for (Seq s = first_new_seq; s < buffer_.next_seq(); ++s) {
+      grid_->Insert(s, buffer_.At(s));
+    }
+    const Seq expire_end = buffer_.LowerBoundKey(swift_start);
+    for (Seq s = buffer_.first_seq(); s < expire_end; ++s) {
+      grid_->Remove(s, buffer_.At(s));
+    }
+  }
   const size_t dropped = buffer_.ExpireBefore(swift_start);
   for (size_t i = 0; i < dropped; ++i) states_.pop_front();
 
@@ -50,10 +68,28 @@ std::vector<QueryResult> SopDetector::Advance(std::vector<Point> batch,
   for (Seq s = buffer_.first_seq(); s < buffer_.next_seq(); ++s) {
     PointState& st = StateOf(s);
     if (options_.safe_inlier_pruning && st.safe) continue;
+    const std::vector<Seq>* candidates = nullptr;
+    if (grid_ != nullptr) {
+      // Index-assisted candidate enumeration: everything within r_max is
+      // in the superset, so K-SKY's scan — restricted to newest-first
+      // order — builds the identical skyband (see ksky.h).
+      grid_->CollectCandidates(buffer_.At(s), plan_.r_max(),
+                               &grid_candidates_);
+      std::sort(grid_candidates_.begin(), grid_candidates_.end(),
+                std::greater<Seq>());
+      // p indexes itself; drop it from its own candidate list.
+      const auto self = std::lower_bound(grid_candidates_.begin(),
+                                         grid_candidates_.end(), s,
+                                         std::greater<Seq>());
+      if (self != grid_candidates_.end() && *self == s) {
+        grid_candidates_.erase(self);
+      }
+      candidates = &grid_candidates_;
+    }
     const bool safe =
         ksky_.EvaluatePoint(buffer_.At(s), buffer_, first_new_seq,
                             swift_start, /*from_scratch=*/!st.evaluated,
-                            &st.skyband);
+                            &st.skyband, candidates);
     st.evaluated = true;
     ++stats_.ksky_scans;
     stats_.distances_computed += ksky_.last_stats().distances_computed;
@@ -127,6 +163,7 @@ std::vector<QueryResult> SopDetector::Advance(std::vector<Point> batch,
 
 size_t SopDetector::MemoryBytes() const {
   size_t bytes = DequeHeapBytes(states_) + last_results_bytes_;
+  if (grid_ != nullptr) bytes += grid_->MemoryBytes();
   for (const PointState& st : states_) bytes += st.skyband.MemoryBytes();
   return bytes;
 }

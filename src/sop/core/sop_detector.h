@@ -17,9 +17,12 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "sop/core/ksky.h"
 #include "sop/core/lsky.h"
 #include "sop/detector/detector.h"
+#include "sop/index/grid.h"
 #include "sop/query/plan.h"
 #include "sop/stream/stream_buffer.h"
 
@@ -36,6 +39,14 @@ class SopDetector : public OutlierDetector {
     /// Skip Safe-For-All inliers in every future batch (Alg. 3 line 2) and
     /// release their evidence.
     bool safe_inlier_pruning = true;
+    /// Route K-SKY candidate enumeration through a uniform grid over the
+    /// r_max ball (index/grid.h) instead of scanning the whole swift
+    /// window. Exact — the built skybands are identical (see ksky.h);
+    /// only the CPU profile changes. Pays off when r_max covers a small
+    /// fraction of the data space.
+    bool use_grid_index = false;
+    /// Grid pitch as a multiple of r_min (only with use_grid_index).
+    double grid_cell_factor = 1.0;
   };
 
   /// Cumulative counters exposed for tests and the ablation bench.
@@ -51,7 +62,9 @@ class SopDetector : public OutlierDetector {
       : SopDetector(workload, Options()) {}
   SopDetector(const Workload& workload, Options options);
 
-  const char* name() const override { return "sop"; }
+  const char* name() const override {
+    return options_.use_grid_index ? "sop-grid" : "sop";
+  }
   std::vector<QueryResult> Advance(std::vector<Point> batch,
                                    int64_t boundary) override;
   size_t MemoryBytes() const override;
@@ -106,12 +119,14 @@ class SopDetector : public OutlierDetector {
   KSky ksky_;
   StreamBuffer buffer_;
   std::deque<PointState> states_;
+  std::unique_ptr<GridIndex> grid_;  // only with options_.use_grid_index
   Stats stats_;
   int64_t last_boundary_ = INT64_MIN;
   bool received_any_ = false;
   size_t last_results_bytes_ = 0;
   // Per-batch scratch.
   std::vector<Seq> nonsafe_seqs_;
+  std::vector<Seq> grid_candidates_;  // seq-descending K-SKY candidates
   std::vector<EmittingQuery> emitting_;
   FenwickTree emit_counts_;
 };

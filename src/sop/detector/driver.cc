@@ -2,102 +2,20 @@
 
 #include <utility>
 
-#include "sop/common/check.h"
-#include "sop/common/stopwatch.h"
-#include "sop/stream/window.h"
+#include "sop/detector/engine.h"
 
 namespace sop {
 
-namespace {
-
-// Times one Advance() call and records it into the accumulator.
-void AdvanceBatch(OutlierDetector* detector, std::vector<Point> batch,
-                  int64_t boundary, MetricsAccumulator* acc,
-                  const ResultSink& sink) {
-  Stopwatch watch;
-  std::vector<QueryResult> results =
-      detector->Advance(std::move(batch), boundary);
-  const double cpu_ms = watch.ElapsedMillis();
-  uint64_t outliers = 0;
-  for (const QueryResult& r : results) outliers += r.outliers.size();
-  acc->RecordBatch(cpu_ms, detector->MemoryBytes(), results.size(), outliers);
-  if (sink) {
-    for (const QueryResult& r : results) sink(r);
-  }
-}
-
-RunMetrics RunCountBased(int64_t batch_span, StreamSource* source,
-                         OutlierDetector* detector, const ResultSink& sink) {
-  MetricsAccumulator acc;
-  std::vector<Point> batch;
-  batch.reserve(static_cast<size_t>(batch_span));
-  Seq seq = 0;
-  Point p;
-  while (source->Next(&p)) {
-    p.seq = seq++;
-    acc.RecordPoints(1);
-    batch.push_back(std::move(p));
-    if (static_cast<int64_t>(batch.size()) == batch_span) {
-      AdvanceBatch(detector, std::move(batch), seq, &acc, sink);
-      batch = {};
-      batch.reserve(static_cast<size_t>(batch_span));
-    }
-  }
-  // A trailing partial batch never reaches a boundary and is dropped.
-  return acc.Finish();
-}
-
-RunMetrics RunTimeBased(int64_t batch_span, StreamSource* source,
-                        OutlierDetector* detector, const ResultSink& sink) {
-  MetricsAccumulator acc;
-  std::vector<Point> batch;
-  Seq seq = 0;
-  Timestamp last_time = 0;
-  bool have_boundary = false;
-  int64_t next_boundary = 0;
-  Point p;
-  while (source->Next(&p)) {
-    if (seq > 0) {
-      SOP_CHECK_MSG(p.time >= last_time,
-                    "time-based streams must have non-decreasing timestamps");
-    }
-    last_time = p.time;
-    if (!have_boundary) {
-      // The first boundary strictly after the first point's timestamp.
-      next_boundary = FirstBoundaryAtOrAfter(p.time + 1, batch_span);
-      have_boundary = true;
-    }
-    while (p.time >= next_boundary) {
-      AdvanceBatch(detector, std::move(batch), next_boundary, &acc, sink);
-      batch = {};
-      next_boundary += batch_span;
-    }
-    p.seq = seq++;
-    acc.RecordPoints(1);
-    batch.push_back(std::move(p));
-  }
-  if (have_boundary) {
-    AdvanceBatch(detector, std::move(batch), next_boundary, &acc, sink);
-  }
-  return acc.Finish();
-}
-
-}  // namespace
-
 RunMetrics RunStream(const Workload& workload, StreamSource* source,
                      OutlierDetector* detector, const ResultSink& sink) {
-  SOP_CHECK(source != nullptr && detector != nullptr);
-  const int64_t batch_span = workload.SlideGcd();
-  if (workload.window_type() == WindowType::kCount) {
-    return RunCountBased(batch_span, source, detector, sink);
-  }
-  return RunTimeBased(batch_span, source, detector, sink);
+  ExecutionEngine engine;
+  return engine.Run(workload, source, detector, sink);
 }
 
 RunMetrics RunStream(const Workload& workload, std::vector<Point> points,
                      OutlierDetector* detector, const ResultSink& sink) {
-  VectorSource source(std::move(points));
-  return RunStream(workload, &source, detector, sink);
+  ExecutionEngine engine;
+  return engine.Run(workload, std::move(points), detector, sink);
 }
 
 std::vector<QueryResult> CollectResults(const Workload& workload,

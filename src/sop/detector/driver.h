@@ -4,33 +4,27 @@
 // This plays the role the HP CHAOS stream engine played in the paper's
 // experimental setup: windowing, scheduling and measurement around the
 // detection algorithm under test.
+//
+// These free functions are thin wrappers over a serial ExecutionEngine
+// (detector/engine.h) — the engine owns the actual batching loop and the
+// optional thread pool. Existing call sites keep working unchanged; code
+// that wants partition-parallel execution or a reusable pool constructs an
+// ExecutionEngine directly.
 
 #ifndef SOP_DETECTOR_DRIVER_H_
 #define SOP_DETECTOR_DRIVER_H_
 
-#include <functional>
-
 #include "sop/detector/detector.h"
+#include "sop/detector/engine.h"
 #include "sop/detector/metrics.h"
 #include "sop/query/workload.h"
 #include "sop/stream/source.h"
 
 namespace sop {
 
-/// Callback receiving every QueryResult as it is produced. May be null.
-using ResultSink = std::function<void(const QueryResult&)>;
-
-/// Drives `detector` over `source` under `workload`'s window semantics.
-///
-/// Batch boundaries are multiples of the workload slide gcd. For
-/// count-based workloads, one batch per gcd points; the trailing partial
-/// batch (stream length not a multiple of the gcd) is never emitted. For
-/// time-based workloads, batches cover gcd-sized time spans; empty spans
-/// still advance the windows, and the run ends at the first boundary
-/// covering the last point.
-///
-/// Detector CPU time is measured around Advance() only; source decoding
-/// and result sinking are excluded.
+/// Drives `detector` over `source` under `workload`'s window semantics
+/// with a serial, single-use engine. See ExecutionEngine::Run for the
+/// batching/emission contract.
 RunMetrics RunStream(const Workload& workload, StreamSource* source,
                      OutlierDetector* detector, const ResultSink& sink = {});
 

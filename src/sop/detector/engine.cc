@@ -1,0 +1,147 @@
+#include "sop/detector/engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "sop/common/check.h"
+#include "sop/common/stopwatch.h"
+#include "sop/detector/partitioned.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+
+namespace {
+
+// Attaches the engine's pool to a partition-parallel detector for the
+// duration of one run, restoring the previous (normally null) pool on every
+// exit path.
+class ScopedPoolAttachment {
+ public:
+  ScopedPoolAttachment(OutlierDetector* detector, ThreadPool* pool) {
+    if (pool == nullptr) return;
+    partitioned_ = dynamic_cast<PartitionedDetector*>(detector);
+    if (partitioned_ == nullptr) return;
+    previous_ = partitioned_->thread_pool();
+    partitioned_->set_thread_pool(pool);
+  }
+  ~ScopedPoolAttachment() {
+    if (partitioned_ != nullptr) partitioned_->set_thread_pool(previous_);
+  }
+
+ private:
+  PartitionedDetector* partitioned_ = nullptr;
+  ThreadPool* previous_ = nullptr;
+};
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(ExecOptions options) : options_(options) {
+  SOP_CHECK_MSG(options_.num_threads >= 0, "num_threads must be >= 0");
+  if (options_.num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+void ExecutionEngine::AdvanceBatch(OutlierDetector* detector,
+                                   std::vector<Point> batch, int64_t boundary,
+                                   MetricsAccumulator* acc,
+                                   const ResultSink& sink) {
+  Stopwatch watch;
+  std::vector<QueryResult> results =
+      detector->Advance(std::move(batch), boundary);
+  const double cpu_ms = watch.ElapsedMillis();
+  uint64_t outliers = 0;
+  for (const QueryResult& r : results) outliers += r.outliers.size();
+  acc->RecordBatch(cpu_ms, detector->MemoryBytes(), results.size(), outliers);
+  if (sink) {
+    for (const QueryResult& r : results) sink(r);
+  }
+}
+
+RunMetrics ExecutionEngine::RunCountBased(int64_t batch_span,
+                                          StreamSource* source,
+                                          OutlierDetector* detector,
+                                          const ResultSink& sink) {
+  MetricsAccumulator acc;
+  std::vector<Point> batch;
+  batch.reserve(static_cast<size_t>(batch_span));
+  Seq seq = 0;
+  Point p;
+  while (source->Next(&p)) {
+    p.seq = seq++;
+    acc.RecordPoints(1);
+    batch.push_back(std::move(p));
+    if (static_cast<int64_t>(batch.size()) == batch_span) {
+      AdvanceBatch(detector, std::move(batch), seq, &acc, sink);
+      batch = {};
+      batch.reserve(static_cast<size_t>(batch_span));
+    }
+  }
+  // A trailing partial batch never reaches a boundary and is dropped.
+  return acc.Finish();
+}
+
+RunMetrics ExecutionEngine::RunTimeBased(int64_t batch_span,
+                                         StreamSource* source,
+                                         OutlierDetector* detector,
+                                         const ResultSink& sink) {
+  MetricsAccumulator acc;
+  std::vector<Point> batch;
+  Seq seq = 0;
+  Timestamp last_time = 0;
+  bool have_boundary = false;
+  int64_t next_boundary = 0;
+  Point p;
+  while (source->Next(&p)) {
+    if (seq > 0) {
+      SOP_CHECK_MSG(p.time >= last_time,
+                    "time-based streams must have non-decreasing timestamps");
+    }
+    last_time = p.time;
+    if (!have_boundary) {
+      // The first boundary strictly after the first point's timestamp.
+      next_boundary = FirstBoundaryAtOrAfter(p.time + 1, batch_span);
+      have_boundary = true;
+    }
+    while (p.time >= next_boundary) {
+      AdvanceBatch(detector, std::move(batch), next_boundary, &acc, sink);
+      batch = {};
+      next_boundary += batch_span;
+    }
+    p.seq = seq++;
+    acc.RecordPoints(1);
+    batch.push_back(std::move(p));
+  }
+  if (have_boundary) {
+    AdvanceBatch(detector, std::move(batch), next_boundary, &acc, sink);
+  }
+  return acc.Finish();
+}
+
+RunMetrics ExecutionEngine::Run(const Workload& workload, StreamSource* source,
+                                OutlierDetector* detector,
+                                const ResultSink& sink) {
+  SOP_CHECK(source != nullptr && detector != nullptr);
+  ScopedPoolAttachment attachment(detector, pool_.get());
+  const int64_t batch_span = workload.SlideGcd();
+  if (workload.window_type() == WindowType::kCount) {
+    return RunCountBased(batch_span, source, detector, sink);
+  }
+  return RunTimeBased(batch_span, source, detector, sink);
+}
+
+RunMetrics ExecutionEngine::Run(const Workload& workload,
+                                std::vector<Point> points,
+                                OutlierDetector* detector,
+                                const ResultSink& sink) {
+  VectorSource source(std::move(points));
+  return Run(workload, &source, detector, sink);
+}
+
+}  // namespace sop

@@ -1,0 +1,92 @@
+// ExecutionEngine: the driver layer of the layered execution path
+//
+//   driver (this file)  ->  partition (PartitionedDetector)  ->  index
+//
+// The engine owns the batching/emission loop that used to live inside
+// RunStream (detector/driver.h, now a thin wrapper): it slices the stream
+// into swift-slide batches, times every Advance() call, tracks per-batch
+// latency percentiles, and forwards results to the sink. It also owns a
+// reusable ThreadPool; when the detector under test is a
+// PartitionedDetector, the engine attaches the pool for the duration of
+// the run so independent partitions advance concurrently (DESIGN.md
+// Sec. 10).
+//
+// An engine is reusable across runs and detectors; the pool is spawned
+// once at construction. Not thread-safe: one engine drives one run at a
+// time.
+
+#ifndef SOP_DETECTOR_ENGINE_H_
+#define SOP_DETECTOR_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sop/common/thread_pool.h"
+#include "sop/detector/detector.h"
+#include "sop/detector/metrics.h"
+#include "sop/query/workload.h"
+#include "sop/stream/source.h"
+
+namespace sop {
+
+/// Callback receiving every QueryResult as it is produced. May be null.
+using ResultSink = std::function<void(const QueryResult&)>;
+
+/// Execution knobs, defaulting to the serial seed behaviour.
+struct ExecOptions {
+  /// Worker threads for partition-parallel detectors. 1 keeps everything
+  /// on the calling thread (bit-identical to the pre-engine driver); 0
+  /// means hardware concurrency.
+  int num_threads = 1;
+};
+
+/// Drives detectors over streams under the normative window semantics.
+class ExecutionEngine {
+ public:
+  ExecutionEngine() : ExecutionEngine(ExecOptions{}) {}
+  explicit ExecutionEngine(ExecOptions options);
+  ~ExecutionEngine();
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  /// Drives `detector` over `source` under `workload`'s window semantics.
+  ///
+  /// Batch boundaries are multiples of the workload slide gcd. For
+  /// count-based workloads, one batch per gcd points; the trailing partial
+  /// batch (stream length not a multiple of the gcd) is never emitted. For
+  /// time-based workloads, batches cover gcd-sized time spans; empty spans
+  /// still advance the windows, and the run ends at the first boundary
+  /// covering the last point.
+  ///
+  /// Detector CPU time is measured around Advance() only; source decoding
+  /// and result sinking are excluded. With num_threads > 1 the timing is
+  /// wall-clock over the fan-out, i.e. the per-batch critical path.
+  RunMetrics Run(const Workload& workload, StreamSource* source,
+                 OutlierDetector* detector, const ResultSink& sink = {});
+
+  /// Convenience overload over an in-memory stream.
+  RunMetrics Run(const Workload& workload, std::vector<Point> points,
+                 OutlierDetector* detector, const ResultSink& sink = {});
+
+  /// The engine's pool; null when configured serial (num_threads == 1).
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  // Times one Advance() call and records it into the accumulator.
+  void AdvanceBatch(OutlierDetector* detector, std::vector<Point> batch,
+                    int64_t boundary, MetricsAccumulator* acc,
+                    const ResultSink& sink);
+  RunMetrics RunCountBased(int64_t batch_span, StreamSource* source,
+                           OutlierDetector* detector, const ResultSink& sink);
+  RunMetrics RunTimeBased(int64_t batch_span, StreamSource* source,
+                          OutlierDetector* detector, const ResultSink& sink);
+
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+};
+
+}  // namespace sop
+
+#endif  // SOP_DETECTOR_ENGINE_H_

@@ -16,6 +16,10 @@ bool ParseDetectorKind(const std::string& name, DetectorKind* out) {
     *out = DetectorKind::kSop;
     return true;
   }
+  if (name == "sop-grid") {
+    *out = DetectorKind::kSopGrid;
+    return true;
+  }
   if (name == "grouped-sop") {
     *out = DetectorKind::kGroupedSop;
     return true;
@@ -43,6 +47,8 @@ const char* DetectorKindName(DetectorKind kind) {
   switch (kind) {
     case DetectorKind::kSop:
       return "sop";
+    case DetectorKind::kSopGrid:
+      return "sop-grid";
     case DetectorKind::kGroupedSop:
       return "grouped-sop";
     case DetectorKind::kLeap:
@@ -87,6 +93,14 @@ std::unique_ptr<OutlierDetector> CreateDetector(
       return MaybeSplitByAttributes(workload, [options](const Workload& sub) {
         return std::make_unique<SopDetector>(sub, options);
       });
+    case DetectorKind::kSopGrid: {
+      SopDetector::Options grid_options = options;
+      grid_options.use_grid_index = true;
+      return MaybeSplitByAttributes(
+          workload, [grid_options](const Workload& sub) {
+            return std::make_unique<SopDetector>(sub, grid_options);
+          });
+    }
     case DetectorKind::kGroupedSop:
       return MaybeSplitByAttributes(
           workload,

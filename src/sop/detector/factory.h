@@ -16,6 +16,7 @@ namespace sop {
 /// The algorithms this repository ships.
 enum class DetectorKind {
   kSop,         // the paper's contribution
+  kSopGrid,     // SOP with grid-indexed K-SKY candidate enumeration
   kGroupedSop,  // paper Sec. 3.2 strawman: independent skyband per k-group
   kLeap,        // per-query LEAP baseline [ICDE'14]
   kMcod,        // augmented multi-query MCOD baseline [ICDE'11]
@@ -23,8 +24,8 @@ enum class DetectorKind {
   kNaive,       // exact brute force (test oracle)
 };
 
-/// Parses "sop" / "grouped-sop" / "leap" / "mcod" / "mcod-grid" / "naive".
-/// Returns true on success.
+/// Parses "sop" / "sop-grid" / "grouped-sop" / "leap" / "mcod" /
+/// "mcod-grid" / "naive". Returns true on success.
 bool ParseDetectorKind(const std::string& name, DetectorKind* out);
 
 /// Name of `kind`.

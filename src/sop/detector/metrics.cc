@@ -5,6 +5,18 @@
 
 namespace sop {
 
+namespace {
+
+// Nearest-rank percentile of an ascending-sorted sample.
+double PercentileOfSorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      pct / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
 std::string RunMetrics::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -18,6 +30,14 @@ std::string RunMetrics::ToString() const {
   return buf;
 }
 
+std::string RunMetrics::LatencyToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "batch latency p50=%.3fms p95=%.3fms max=%.3fms",
+                p50_batch_ms, p95_batch_ms, max_batch_ms);
+  return buf;
+}
+
 void MetricsAccumulator::RecordBatch(double cpu_ms, size_t memory_bytes,
                                      uint64_t emissions, uint64_t outliers) {
   ++metrics_.num_batches;
@@ -26,12 +46,19 @@ void MetricsAccumulator::RecordBatch(double cpu_ms, size_t memory_bytes,
       std::max(metrics_.peak_memory_bytes, memory_bytes);
   metrics_.total_emissions += emissions;
   metrics_.total_outliers += outliers;
+  batch_ms_.push_back(cpu_ms);
 }
 
 RunMetrics MetricsAccumulator::Finish() {
   if (metrics_.num_batches > 0) {
     metrics_.avg_cpu_ms_per_window =
         metrics_.total_cpu_ms / static_cast<double>(metrics_.num_batches);
+  }
+  if (!batch_ms_.empty()) {
+    std::sort(batch_ms_.begin(), batch_ms_.end());
+    metrics_.p50_batch_ms = PercentileOfSorted(batch_ms_, 50.0);
+    metrics_.p95_batch_ms = PercentileOfSorted(batch_ms_, 95.0);
+    metrics_.max_batch_ms = batch_ms_.back();
   }
   return metrics_;
 }

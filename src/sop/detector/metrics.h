@@ -1,5 +1,6 @@
-// Run metrics collected by the stream driver: the paper's two evaluation
-// metrics (average CPU time per window, peak memory) plus bookkeeping.
+// Run metrics collected by the execution engine: the paper's two
+// evaluation metrics (average CPU time per window, peak memory) plus
+// per-batch latency percentiles and bookkeeping.
 
 #ifndef SOP_DETECTOR_METRICS_H_
 #define SOP_DETECTOR_METRICS_H_
@@ -7,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sop {
 
@@ -18,6 +20,12 @@ struct RunMetrics {
   double total_cpu_ms = 0.0;
   /// The paper's CPU metric: average processing time per window (ms).
   double avg_cpu_ms_per_window = 0.0;
+  /// Per-batch latency distribution (ms): median, 95th percentile
+  /// (nearest-rank), and worst batch. Tail latency is what a production
+  /// stream job provisions for; the averages above hide it.
+  double p50_batch_ms = 0.0;
+  double p95_batch_ms = 0.0;
+  double max_batch_ms = 0.0;
   /// The paper's MEM metric: peak evidence memory across batches (bytes).
   size_t peak_memory_bytes = 0;
   /// Total number of (query, boundary) emissions produced.
@@ -29,20 +37,23 @@ struct RunMetrics {
 
   /// One-line human-readable summary.
   std::string ToString() const;
+  /// One-line latency distribution summary ("p50=... p95=... max=...").
+  std::string LatencyToString() const;
 };
 
-/// Incremental accumulator used by the driver.
+/// Incremental accumulator used by the execution engine.
 class MetricsAccumulator {
  public:
   void RecordBatch(double cpu_ms, size_t memory_bytes, uint64_t emissions,
                    uint64_t outliers);
   void RecordPoints(int64_t n) { metrics_.total_points += n; }
 
-  /// Finalizes averages and returns the metrics.
+  /// Finalizes averages and percentiles and returns the metrics.
   RunMetrics Finish();
 
  private:
   RunMetrics metrics_;
+  std::vector<double> batch_ms_;  // one entry per RecordBatch
 };
 
 }  // namespace sop

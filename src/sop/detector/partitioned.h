@@ -6,6 +6,13 @@
 // attribute set, core/multi_attribute.h) and by the paper's Sec. 3.2
 // strawman that keeps one skyband query per k-group
 // (core/grouped_sop.h).
+//
+// Children are fully independent (each owns its stream buffer, evidence
+// and index), so Advance() can fan them out across a ThreadPool — the
+// partition layer of the execution engine (detector/engine.h). Parallel
+// execution is opt-in via set_thread_pool(); the default stays serial and
+// the merged result stream is identical either way (see DESIGN.md
+// Sec. 10).
 
 #ifndef SOP_DETECTOR_PARTITIONED_H_
 #define SOP_DETECTOR_PARTITIONED_H_
@@ -15,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sop/common/thread_pool.h"
 #include "sop/detector/detector.h"
 #include "sop/query/workload.h"
 
@@ -38,6 +46,14 @@ class PartitionedDetector : public OutlierDetector {
                                    int64_t boundary) override;
   size_t MemoryBytes() const override;
 
+  /// Attaches a worker pool (not owned; must outlive every Advance call):
+  /// subsequent batches fan the independent children out across it. Child
+  /// futures are joined in child order, so results — and any child
+  /// exception — surface deterministically, byte-identical to serial
+  /// execution. Pass nullptr to return to serial.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   size_t num_children() const { return children_.size(); }
   const OutlierDetector& child(size_t i) const {
     return *children_[i].detector;
@@ -53,8 +69,16 @@ class PartitionedDetector : public OutlierDetector {
     std::vector<size_t> local_to_global;  // query index remapping
   };
 
+  // Runs every child over its copy of `batch`, appending remapped results
+  // to `merged` in child order.
+  void AdvanceSerial(std::vector<Point> batch, int64_t boundary,
+                     std::vector<QueryResult>* merged);
+  void AdvanceParallel(std::vector<Point> batch, int64_t boundary,
+                       std::vector<QueryResult>* merged);
+
   std::string name_;
   std::vector<Child> children_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sop

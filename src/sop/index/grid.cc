@@ -105,35 +105,10 @@ double GridIndex::CellLowerBound(const Point& p, const CellCoords& c) const {
   return dist_.metric() == Metric::kEuclidean ? std::sqrt(sum) : sum;
 }
 
-void GridIndex::ForEachCandidate(const Point& p, double r,
-                                 const std::function<void(Seq)>& visit) const {
-  if (size_ == 0) return;
-  const CellCoords center = CellOf(p);
-  const int64_t span = static_cast<int64_t>(std::ceil(r / cell_size_)) + 1;
-  const size_t ndims = center.size();
-  // Iterate the box of cells within `span` of the center in every
-  // dimension, pruning by the metric lower bound.
-  CellCoords coords(ndims);
-  std::vector<int64_t> offset(ndims, -span);
-  for (;;) {
-    for (size_t i = 0; i < ndims; ++i) coords[i] = center[i] + offset[i];
-    if (CellLowerBound(p, coords) <= r) {
-      const auto it = cells_.find(HashCell(coords));
-      if (it != cells_.end()) {
-        for (const Entry& e : it->second) {
-          if (e.coords != coords) continue;
-          for (const Seq s : e.seqs) visit(s);
-        }
-      }
-    }
-    // Advance the odometer.
-    size_t i = 0;
-    for (; i < ndims; ++i) {
-      if (++offset[i] <= span) break;
-      offset[i] = -span;
-    }
-    if (i == ndims) break;
-  }
+void GridIndex::CollectCandidates(const Point& p, double r,
+                                  std::vector<Seq>* out) const {
+  out->clear();
+  VisitCandidates(p, r, [out](Seq s) { out->push_back(s); });
 }
 
 size_t GridIndex::MemoryBytes() const {

@@ -5,7 +5,9 @@
 // grid is the standard lightweight equivalent for low-dimensional numeric
 // streams and is what later stream-outlier systems use. McodDetector can
 // optionally route its insertion range scans through this index
-// (McodDetector::Options::use_grid_index), turning the O(|W|) linear scan
+// (McodDetector::Options::use_grid_index), and SopDetector can route its
+// K-SKY candidate enumeration the same way
+// (SopDetector::Options::use_grid_index), turning the O(|W|) linear scan
 // into a visit of the cells overlapping the query ball.
 //
 // The grid is metric-aware: cells are laid over the distance function's
@@ -13,12 +15,19 @@
 // the true r-neighborhood for both Euclidean and Manhattan metrics (cells
 // are pruned by the metric's own cell-to-point lower bound; callers always
 // confirm with an exact distance).
+//
+// Candidate enumeration is the hottest loop of every grid-backed detector,
+// so it is exposed without type erasure: VisitCandidates takes the visitor
+// as a template parameter (the per-candidate call inlines into the cell
+// walk — no std::function construction or indirect call per scan), and
+// CollectCandidates batches the superset into a caller-owned scratch
+// vector so steady-state scans are allocation-free.
 
 #ifndef SOP_INDEX_GRID_H_
 #define SOP_INDEX_GRID_H_
 
+#include <cmath>
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -27,7 +36,8 @@
 
 namespace sop {
 
-/// Uniform grid over the subspace of `dist`. Not thread-safe.
+/// Uniform grid over the subspace of `dist`. Not thread-safe; in
+/// partition-parallel execution every child detector owns its own grid.
 class GridIndex {
  public:
   /// `cell_size` is the grid pitch in attribute units (> 0). A good pitch
@@ -45,9 +55,44 @@ class GridIndex {
 
   /// Invokes `visit(seq)` for every indexed point whose distance to `p`
   /// *may* be <= r (a superset filtered by cell lower bounds); the caller
-  /// must confirm with an exact distance computation.
-  void ForEachCandidate(const Point& p, double r,
-                        const std::function<void(Seq)>& visit) const;
+  /// must confirm with an exact distance computation. `visit` is any
+  /// callable taking a Seq; it is statically dispatched, so the call
+  /// inlines into the scan loop.
+  template <typename Visitor>
+  void VisitCandidates(const Point& p, double r, Visitor&& visit) const {
+    if (size_ == 0) return;
+    const CellCoords center = CellOf(p);
+    const int64_t span = static_cast<int64_t>(std::ceil(r / cell_size_)) + 1;
+    const size_t ndims = center.size();
+    // Iterate the box of cells within `span` of the center in every
+    // dimension, pruning by the metric lower bound.
+    CellCoords coords(ndims);
+    std::vector<int64_t> offset(ndims, -span);
+    for (;;) {
+      for (size_t i = 0; i < ndims; ++i) coords[i] = center[i] + offset[i];
+      if (CellLowerBound(p, coords) <= r) {
+        const auto it = cells_.find(HashCell(coords));
+        if (it != cells_.end()) {
+          for (const Entry& e : it->second) {
+            if (e.coords != coords) continue;
+            for (const Seq s : e.seqs) visit(s);
+          }
+        }
+      }
+      // Advance the odometer.
+      size_t i = 0;
+      for (; i < ndims; ++i) {
+        if (++offset[i] <= span) break;
+        offset[i] = -span;
+      }
+      if (i == ndims) break;
+    }
+  }
+
+  /// Batched form of VisitCandidates: clears `*out` and fills it with the
+  /// candidate superset (unordered). `*out` is caller-owned scratch —
+  /// reuse it across scans to keep the enumeration allocation-free.
+  void CollectCandidates(const Point& p, double r, std::vector<Seq>* out) const;
 
   /// Approximate heap bytes held.
   size_t MemoryBytes() const;

@@ -17,7 +17,11 @@ Point MakePoint(Seq seq, std::vector<double> values) {
 
 std::set<Seq> Candidates(const GridIndex& grid, const Point& p, double r) {
   std::set<Seq> seqs;
-  grid.ForEachCandidate(p, r, [&seqs](Seq s) { seqs.insert(s); });
+  grid.VisitCandidates(p, r, [&seqs](Seq s) { seqs.insert(s); });
+  // The batched form must enumerate the same superset as the visitor.
+  std::vector<Seq> batched;
+  grid.CollectCandidates(p, r, &batched);
+  EXPECT_EQ(std::set<Seq>(batched.begin(), batched.end()), seqs);
   return seqs;
 }
 
@@ -109,6 +113,37 @@ TEST(GridIndexTest, DuplicateCoordinatesShareCell) {
   EXPECT_EQ(Candidates(grid, a, 0.1), (std::set<Seq>{1, 2}));
   grid.Remove(1, a);
   EXPECT_EQ(Candidates(grid, b, 0.1), (std::set<Seq>{2}));
+}
+
+TEST(GridIndexTest, VisitorIsStaticallyDispatched) {
+  // The visitor is taken by template parameter: a mutable lambda with
+  // captured state works without any std::function wrapping, and the count
+  // it accumulates matches the batched form's size.
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  for (Seq s = 0; s < 20; ++s) {
+    grid.Insert(s, MakePoint(s, {static_cast<double>(s % 5) * 0.1, 0.0}));
+  }
+  int visited = 0;
+  grid.VisitCandidates(MakePoint(99, {0.2, 0.0}), 1.0,
+                       [&visited](Seq) { ++visited; });
+  std::vector<Seq> batched;
+  grid.CollectCandidates(MakePoint(99, {0.2, 0.0}), 1.0, &batched);
+  EXPECT_EQ(static_cast<size_t>(visited), batched.size());
+  EXPECT_EQ(visited, 20);
+}
+
+TEST(GridIndexTest, CollectCandidatesClearsScratch) {
+  // Reused scratch buffers must not leak candidates across scans.
+  GridIndex grid(DistanceFn(Metric::kEuclidean), 1.0);
+  grid.Insert(1, MakePoint(1, {0.0, 0.0}));
+  grid.Insert(2, MakePoint(2, {50.0, 50.0}));
+  std::vector<Seq> scratch;
+  grid.CollectCandidates(MakePoint(9, {0.1, 0.1}), 1.0, &scratch);
+  EXPECT_EQ(scratch, (std::vector<Seq>{1}));
+  grid.CollectCandidates(MakePoint(9, {50.1, 50.1}), 1.0, &scratch);
+  EXPECT_EQ(scratch, (std::vector<Seq>{2}));
+  grid.CollectCandidates(MakePoint(9, {-50.0, -50.0}), 1.0, &scratch);
+  EXPECT_TRUE(scratch.empty());
 }
 
 TEST(GridIndexTest, MemoryBytesGrows) {

@@ -129,10 +129,43 @@ TEST(McodGridTest, GridVariantHandlesTimeWindows) {
                     CollectResults(w, points, &grid), "mcod grid time");
 }
 
+TEST(SopGridTest, GridVariantMatchesLinearVariant) {
+  const Workload w = MixedKWorkload();
+  const std::vector<Point> points = ClusteredStream(150, 61);
+  const std::vector<QueryResult> expected = ExpectedResults(w, points);
+  SopDetector::Options options;
+  options.use_grid_index = true;
+  SopDetector grid(w, options);
+  EXPECT_STREQ(grid.name(), "sop-grid");
+  ExpectSameResults(expected, CollectResults(w, points, &grid), "sop grid");
+}
+
+TEST(SopGridTest, GridVariantHandlesTimeWindows) {
+  Workload w(WindowType::kTime);
+  w.AddQuery(OutlierQuery(1.5, 2, 20, 5));
+  w.AddQuery(OutlierQuery(3.0, 4, 40, 10));
+  Rng rng(78);
+  std::vector<Point> points;
+  Timestamp t = 0;
+  for (Seq s = 0; s < 120; ++s) {
+    t += rng.UniformInt(0, 2);
+    points.emplace_back(
+        s, t,
+        std::vector<double>{rng.Normal(5, 1.0), rng.Normal(5, 1.0)});
+  }
+  SopDetector::Options options;
+  options.use_grid_index = true;
+  SopDetector grid(w, options);
+  ExpectSameResults(ExpectedResults(w, points),
+                    CollectResults(w, points, &grid), "sop grid time");
+}
+
 TEST(FactoryTest, ParsesAllKinds) {
   DetectorKind kind;
   EXPECT_TRUE(ParseDetectorKind("sop", &kind));
   EXPECT_EQ(kind, DetectorKind::kSop);
+  EXPECT_TRUE(ParseDetectorKind("sop-grid", &kind));
+  EXPECT_EQ(kind, DetectorKind::kSopGrid);
   EXPECT_TRUE(ParseDetectorKind("grouped-sop", &kind));
   EXPECT_TRUE(ParseDetectorKind("mcod-grid", &kind));
   EXPECT_TRUE(ParseDetectorKind("leap", &kind));
@@ -141,6 +174,7 @@ TEST(FactoryTest, ParsesAllKinds) {
   EXPECT_FALSE(ParseDetectorKind("bogus", &kind));
   EXPECT_STREQ(DetectorKindName(DetectorKind::kGroupedSop), "grouped-sop");
   EXPECT_STREQ(DetectorKindName(DetectorKind::kMcodGrid), "mcod-grid");
+  EXPECT_STREQ(DetectorKindName(DetectorKind::kSopGrid), "sop-grid");
 }
 
 TEST(FactoryTest, AllKindsMatchOracleOnOneWorkload) {
@@ -148,8 +182,9 @@ TEST(FactoryTest, AllKindsMatchOracleOnOneWorkload) {
   const std::vector<Point> points = ClusteredStream(120, 99);
   const std::vector<QueryResult> expected = ExpectedResults(w, points);
   for (const DetectorKind kind :
-       {DetectorKind::kSop, DetectorKind::kGroupedSop, DetectorKind::kLeap,
-        DetectorKind::kMcod, DetectorKind::kMcodGrid, DetectorKind::kNaive}) {
+       {DetectorKind::kSop, DetectorKind::kSopGrid, DetectorKind::kGroupedSop,
+        DetectorKind::kLeap, DetectorKind::kMcod, DetectorKind::kMcodGrid,
+        DetectorKind::kNaive}) {
     std::unique_ptr<OutlierDetector> d = CreateDetector(kind, w);
     ExpectSameResults(expected, CollectResults(w, points, d.get()),
                       DetectorKindName(kind));

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# check.sh: build the full tree under AddressSanitizer+UBSan and run the
+# test suite. Catches the memory bugs the release build hides (the thread
+# pool and the grid scratch buffers in particular).
+#
+# Usage: tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset asan -j"$(nproc)" "$@"

@@ -3,12 +3,15 @@
 //
 // Usage:
 //   sop_cli --workload spec.txt (--data points.csv | --synthetic N | --stt N)
-//           [--detector sop|grouped-sop|leap|mcod|mcod-grid|naive]
-//           [--print-outliers] [--aggregate] [--max-print N] [--seed S]
+//           [--detector sop|sop-grid|grouped-sop|leap|mcod|mcod-grid|naive]
+//           [--threads N] [--print-outliers] [--aggregate] [--max-print N]
+//           [--seed S]
 //
 // The workload spec format is documented in sop/io/workload_parser.h.
-// Prints run metrics (the paper's CPU/MEM measures) and, optionally, every
-// emission's outliers.
+// Prints run metrics (the paper's CPU/MEM measures plus per-batch latency
+// percentiles) and, optionally, every emission's outliers. --threads N > 1
+// fans partitioned detectors (multi-attribute workloads, grouped-sop) out
+// across a worker pool; 0 means one thread per hardware core.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "sop/detector/driver.h"
+#include "sop/detector/engine.h"
 #include "sop/detector/factory.h"
 #include "sop/gen/stt.h"
 #include "sop/gen/synthetic.h"
@@ -33,8 +36,10 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --workload spec.txt (--data points.csv | --synthetic N |"
       " --stt N)\n"
-      "          [--detector sop|leap|mcod|naive] [--print-outliers]\n"
-      "          [--max-print N] [--seed S]\n",
+      "          [--detector sop|sop-grid|grouped-sop|leap|mcod|mcod-grid|"
+      "naive]\n"
+      "          [--threads N] [--print-outliers] [--max-print N] "
+      "[--seed S]\n",
       argv0);
 }
 
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   bool aggregate = false;
   int64_t max_print = 20;
   uint64_t seed = 42;
+  int num_threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,6 +90,12 @@ int main(int argc, char** argv) {
       max_print = std::atoll(next());
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      num_threads = static_cast<int>(std::atoll(next()));
+      if (num_threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -128,12 +140,20 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<OutlierDetector> detector = CreateDetector(kind, workload);
-  std::fprintf(stderr, "running %zu queries with detector '%s'...\n",
-               workload.num_queries(), detector->name());
+  ExecOptions exec_options;
+  exec_options.num_threads = num_threads;
+  ExecutionEngine engine(exec_options);
+  std::fprintf(stderr, "running %zu queries with detector '%s' (%d thread%s)"
+               "...\n",
+               workload.num_queries(), detector->name(),
+               engine.pool() != nullptr ? engine.pool()->num_threads() : 1,
+               engine.pool() != nullptr && engine.pool()->num_threads() > 1
+                   ? "s"
+                   : "");
 
   int64_t printed = 0;
   report::OutlierAggregator aggregator;
-  const RunMetrics metrics = RunStream(
+  const RunMetrics metrics = engine.Run(
       workload, source.get(), detector.get(), [&](const QueryResult& r) {
         if (aggregate) aggregator.Add(r);
         if (!print_outliers || r.outliers.empty()) return;
@@ -166,5 +186,6 @@ int main(int argc, char** argv) {
                 aggregator.NumFlaggedPointWindows());
   }
   std::printf("%s\n", metrics.ToString().c_str());
+  std::printf("%s\n", metrics.LatencyToString().c_str());
   return 0;
 }
