@@ -21,7 +21,7 @@ int main() {
   FigureRunner runner("Fig.8", "Varying k values (workload B), synthetic");
   runner.AddNote("win=10000 slide=500 r=700, k in [30,1500)");
   runner.AddNote("stream: " + std::to_string(kStream) + " synthetic points");
-  runner.set_cap(DetectorKind::kLeap, 100);
+  runner.set_cap("leap", 100);
   runner.Run(MaybeShrinkSizes({10, 100, 500, 1000}),
              CaseWorkload(gen::WorkloadCase::kB, options),
              SyntheticStream(kStream));

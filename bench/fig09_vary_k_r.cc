@@ -21,7 +21,7 @@ int main() {
                       "Varying k and r values (workload C), synthetic");
   runner.AddNote("win=10000 slide=500, k in [30,1500), r in [200,2000)");
   runner.AddNote("stream: " + std::to_string(kStream) + " synthetic points");
-  runner.set_cap(DetectorKind::kLeap, 100);
+  runner.set_cap("leap", 100);
   runner.Run(MaybeShrinkSizes({10, 100, 500, 1000}),
              CaseWorkload(gen::WorkloadCase::kC, options),
              SyntheticStream(kStream));

@@ -28,7 +28,7 @@ int main() {
   runner.AddNote("slide=500 r=200 k=30, win in [1000," +
                  std::to_string(kWinHi) + ") [paper: up to 500K, scaled]");
   runner.AddNote("stream: " + std::to_string(kStream) + " STT-like trades");
-  runner.set_cap(DetectorKind::kLeap, 500);
+  runner.set_cap("leap", 500);
   runner.Run(MaybeShrinkSizes({10, 100, 500, 1000}),
              CaseWorkload(gen::WorkloadCase::kD, options),
              SttStream(kStream));

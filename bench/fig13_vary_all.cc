@@ -31,8 +31,8 @@ int main() {
   runner.AddNote("k in [30,1500), r in [200,2000), win in [1000," +
                  std::to_string(kWinHi) + "), slide in [500,5000) step 500");
   runner.AddNote("stream: " + std::to_string(kStream) + " synthetic points");
-  runner.set_cap(DetectorKind::kLeap, 125);
-  runner.set_cap(DetectorKind::kMcod, 125);
+  runner.set_cap("leap", 125);
+  runner.set_cap("mcod", 125);
   runner.Run(MaybeShrinkSizes({50000, 10000, 1000, 100}),
              CaseWorkload(gen::WorkloadCase::kG, options),
              SyntheticStream(kStream));

@@ -45,15 +45,16 @@ class FigureRunner {
  public:
   FigureRunner(std::string figure_id, std::string description);
 
-  /// Detectors to compare, in column order. Default: SOP, MCOD, LEAP.
-  void set_detectors(std::vector<DetectorKind> kinds) {
-    kinds_ = std::move(kinds);
+  /// Detectors to compare, in column order (factory names, see
+  /// detector/factory.h). Default: "sop", "mcod", "leap".
+  void set_detectors(std::vector<std::string> names) {
+    names_ = std::move(names);
   }
 
-  /// Skips `kind` for workloads larger than `max_queries` (resource
-  /// budget); skipped cells print "-".
-  void set_cap(DetectorKind kind, size_t max_queries) {
-    caps_[kind] = max_queries;
+  /// Skips detector `name` for workloads larger than `max_queries`
+  /// (resource budget); skipped cells print "-".
+  void set_cap(const std::string& name, size_t max_queries) {
+    caps_[name] = max_queries;
   }
 
   /// Free-form parameter notes echoed under the title.
@@ -68,9 +69,8 @@ class FigureRunner {
   std::string figure_id_;
   std::string description_;
   std::vector<std::string> notes_;
-  std::vector<DetectorKind> kinds_ = {DetectorKind::kSop, DetectorKind::kMcod,
-                                      DetectorKind::kLeap};
-  std::map<DetectorKind, size_t> caps_;
+  std::vector<std::string> names_ = {"sop", "mcod", "leap"};
+  std::map<std::string, size_t> caps_;
 };
 
 /// Shrinks each size by 1/8 (min 1) in fast mode.

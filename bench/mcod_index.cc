@@ -10,8 +10,8 @@
 
 #include "bench_data.h"
 #include "figure.h"
-#include "sop/baselines/mcod.h"
 #include "sop/detector/driver.h"
+#include "sop/detector/factory.h"
 
 int main() {
   using namespace sop;
@@ -47,15 +47,14 @@ int main() {
     gen::SttOptions data;
     data.seed = 19980427;
 
-    McodDetector linear(workload);
+    std::unique_ptr<OutlierDetector> linear = CreateDetector("mcod", workload);
     gen::SttSource s1(kStream, data);
-    const RunMetrics m_linear = RunStream(workload, &s1, &linear);
+    const RunMetrics m_linear = RunStream(workload, &s1, linear.get());
 
-    McodDetector::Options grid_options;
-    grid_options.use_grid_index = true;
-    McodDetector grid(workload, grid_options);
+    std::unique_ptr<OutlierDetector> grid =
+        CreateDetector("mcod-grid", workload);
     gen::SttSource s2(kStream, data);
-    const RunMetrics m_grid = RunStream(workload, &s2, &grid);
+    const RunMetrics m_grid = RunStream(workload, &s2, grid.get());
 
     if (m_linear.total_outliers != m_grid.total_outliers) {
       std::printf("ERROR: result mismatch between variants!\n");

@@ -9,8 +9,8 @@
 
 #include "bench_data.h"
 #include "figure.h"
-#include "sop/core/sop_detector.h"
 #include "sop/detector/driver.h"
+#include "sop/detector/factory.h"
 
 int main() {
   using namespace sop;
@@ -41,11 +41,12 @@ int main() {
       per_size.seed = options.seed + num_queries * 13;
       const Workload workload = gen::GenerateWorkload(
           gen::WorkloadCase::kC, num_queries, type, per_size);
-      SopDetector detector(workload);
+      std::unique_ptr<OutlierDetector> detector =
+          CreateDetector("sop", workload);
       gen::SyntheticOptions data;
       data.seed = 20160626;  // time_step defaults to 1 unit per point
       gen::SyntheticSource source(kStream, data);
-      const RunMetrics m = RunStream(workload, &source, &detector);
+      const RunMetrics m = RunStream(workload, &source, detector.get());
       cpu[i] = m.avg_cpu_ms_per_window;
       mem[i] = static_cast<double>(m.peak_memory_bytes) / 1048576.0;
       outliers[i] = m.total_outliers;

@@ -12,8 +12,7 @@
 #include <map>
 #include <vector>
 
-#include "sop/core/session.h"
-#include "sop/gen/synthetic.h"
+#include "sop/sop.h"
 
 int main() {
   using namespace sop;

@@ -15,11 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "sop/common/random.h"
-#include "sop/detector/driver.h"
-#include "sop/detector/factory.h"
-#include "sop/io/workload_parser.h"
-#include "sop/stream/source.h"
+#include "sop/sop.h"
 
 namespace {
 
@@ -84,7 +80,7 @@ query 700 15 12000 2000
                             "C (conservative)", "D (weekly view)"};
 
   std::unique_ptr<OutlierDetector> detector =
-      CreateDetector(DetectorKind::kSop, workload);
+      CreateDetector("sop", workload);
   TransactionSource source(20000, /*seed=*/2026);
 
   // Tally flagged transactions per analyst; remember each transaction's

@@ -14,9 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "sop/detector/driver.h"
-#include "sop/detector/factory.h"
-#include "sop/gen/synthetic.h"
+#include "sop/sop.h"
 
 int main() {
   using namespace sop;
@@ -41,7 +39,7 @@ int main() {
   std::vector<uint64_t> outliers(workload.num_queries(), 0);
   std::vector<uint64_t> evaluated(workload.num_queries(), 0);
   std::unique_ptr<OutlierDetector> sop =
-      CreateDetector(DetectorKind::kSop, workload);
+      CreateDetector("sop", workload);
   auto source = make_source();
   const RunMetrics sop_metrics = RunStream(
       workload, source.get(), sop.get(), [&](const QueryResult& result) {
@@ -70,7 +68,7 @@ int main() {
   // The same workload, one independent LEAP instance per query (the
   // pre-SOP way to run a parameter sweep).
   std::unique_ptr<OutlierDetector> leap =
-      CreateDetector(DetectorKind::kLeap, workload);
+      CreateDetector("leap", workload);
   auto source2 = make_source();
   const RunMetrics leap_metrics =
       RunStream(workload, source2.get(), leap.get());

@@ -3,16 +3,15 @@
 //
 //   build/examples/quickstart
 //
-// Walks through the whole public API surface: build a Workload, create the
-// detector through the factory, run a stream through the driver, consume
-// per-query results, and read the run metrics.
+// Walks through the whole public API surface — everything an application
+// needs comes from the single umbrella header sop/sop.h: build a Workload,
+// create the detector through the factory by name, run a stream through
+// the driver, consume per-query results, and read the run metrics.
 
 #include <cstdio>
 #include <memory>
 
-#include "sop/detector/driver.h"
-#include "sop/detector/factory.h"
-#include "sop/gen/synthetic.h"
+#include "sop/sop.h"
 
 int main() {
   using namespace sop;
@@ -34,7 +33,7 @@ int main() {
   // 2. One shared detector answers all three queries in a single pass per
   //    point (the paper's SOP algorithm).
   std::unique_ptr<OutlierDetector> detector =
-      CreateDetector(DetectorKind::kSop, workload);
+      CreateDetector("sop", workload);
 
   // 3. Stream 12,000 synthetic points (Gaussian inliers + uniform
   //    outliers) through the detector and consume emissions as they

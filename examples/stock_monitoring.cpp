@@ -13,9 +13,7 @@
 #include <memory>
 #include <set>
 
-#include "sop/detector/driver.h"
-#include "sop/detector/factory.h"
-#include "sop/gen/stt.h"
+#include "sop/sop.h"
 
 int main() {
   using namespace sop;
@@ -35,7 +33,7 @@ int main() {
   gen::SttSource source(kTrades, data);
 
   std::unique_ptr<OutlierDetector> detector =
-      CreateDetector(DetectorKind::kSop, workload);
+      CreateDetector("sop", workload);
   std::vector<uint64_t> flags(workload.num_queries(), 0);
   std::vector<std::set<Seq>> distinct(workload.num_queries());
   const RunMetrics metrics =

@@ -4,6 +4,7 @@
 
 #include "sop/common/check.h"
 #include "sop/common/memory.h"
+#include "sop/obs/trace.h"
 #include "sop/stream/window.h"
 
 namespace sop {
@@ -64,6 +65,20 @@ std::vector<QueryResult> LeapDetector::Advance(std::vector<Point> batch,
     }
     last_results_bytes_ += VectorHeapBytes(result.outliers);
     results.push_back(std::move(result));
+  }
+  // Publish this batch's probing-cost deltas. EvaluatePoint is far too hot
+  // to instrument per probe; the cumulative Stats are diffed here instead.
+  if (SOP_OBS_ENABLED()) {
+    SOP_COUNTER_ADD("leap/distances_computed",
+                    stats_.distances_computed - obs_reported_.distances_computed);
+    SOP_COUNTER_ADD("leap/points_evaluated",
+                    stats_.points_evaluated - obs_reported_.points_evaluated);
+    SOP_COUNTER_ADD(
+        "leap/safe_points_discovered",
+        stats_.safe_points_discovered - obs_reported_.safe_points_discovered);
+    SOP_GAUGE_SET("leap/alive_points",
+                  buffer_.next_seq() - buffer_.first_seq());
+    obs_reported_ = stats_;
   }
   return results;
 }

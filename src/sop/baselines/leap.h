@@ -76,6 +76,7 @@ class LeapDetector : public OutlierDetector {
   int64_t win_max_ = 0;
   std::vector<QueryState> states_;
   Stats stats_;
+  Stats obs_reported_;  // stats_ values already published to obs counters
   size_t last_results_bytes_ = 0;
 };
 

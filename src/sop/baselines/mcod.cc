@@ -5,6 +5,7 @@
 
 #include "sop/common/check.h"
 #include "sop/common/memory.h"
+#include "sop/obs/trace.h"
 #include "sop/stream/window.h"
 
 namespace sop {
@@ -100,6 +101,14 @@ void McodDetector::InsertPoint(Seq s) {
     }
   }
   if (grid_ != nullptr) grid_->Insert(s, p);
+  if (SOP_OBS_ENABLED()) {
+    SOP_COUNTER_ADD("mcod/range_scans", 1);
+    SOP_COUNTER_ADD("mcod/candidates_examined",
+                    grid_ != nullptr
+                        ? static_cast<uint64_t>(scratch_seqs_.size())
+                        : static_cast<uint64_t>(s - buffer_.first_seq()));
+    SOP_COUNTER_ADD("mcod/neighbors_retained", ps.list.size());
+  }
 
   // Micro-cluster maintenance for the simulated (k_max, r_min) query:
   // join the first center within r_min/2, else try to seed a new cluster
@@ -110,10 +119,12 @@ void McodDetector::InsertPoint(Seq s) {
     if (dist_(p, mc.center) <= cluster_radius) {
       mc.members.emplace_back(s, p_key);
       ps.cluster = static_cast<int32_t>(c);
+      SOP_COUNTER_ADD("mcod/cluster_joins", 1);
       return;
     }
   }
   if (static_cast<int64_t>(scratch_close_.size()) >= k_max_) {
+    SOP_COUNTER_ADD("mcod/clusters_seeded", 1);
     MicroCluster mc;
     mc.center = p;
     for (Seq t : scratch_close_) {
@@ -193,6 +204,7 @@ std::vector<QueryResult> McodDetector::Advance(std::vector<Point> batch,
   // Emission: micro-cluster fast path, then the neighbor-list post-filter.
   std::vector<QueryResult> results;
   last_results_bytes_ = 0;
+  [[maybe_unused]] uint64_t obs_cluster_inliers = 0;
   for (size_t qi = 0; qi < workload_.num_queries(); ++qi) {
     const OutlierQuery& q = workload_.query(qi);
     if (!EmitsAt(boundary, q.slide)) continue;
@@ -213,7 +225,10 @@ std::vector<QueryResult> McodDetector::Advance(std::vector<Point> batch,
             });
         const int64_t co_members =
             static_cast<int64_t>(mc.members.end() - it) - 1;
-        if (co_members >= q.k) continue;  // inlier via the cluster
+        if (co_members >= q.k) {
+          ++obs_cluster_inliers;
+          continue;  // inlier via the cluster
+        }
       }
       if (st.list.CountWithin(q.r, start, q.k) < q.k) {
         result.outliers.push_back(s);
@@ -221,6 +236,11 @@ std::vector<QueryResult> McodDetector::Advance(std::vector<Point> batch,
     }
     last_results_bytes_ += VectorHeapBytes(result.outliers);
     results.push_back(std::move(result));
+  }
+  if (SOP_OBS_ENABLED()) {
+    SOP_COUNTER_ADD("mcod/cluster_inlier_fastpath", obs_cluster_inliers);
+    SOP_GAUGE_SET("mcod/alive_points", buffer_.next_seq() - buffer_.first_seq());
+    SOP_GAUGE_SET("mcod/live_clusters", num_clusters());
   }
   return results;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sop/common/check.h"
+#include "sop/obs/trace.h"
 #include "sop/stream/window.h"
 
 namespace sop {
@@ -76,6 +77,7 @@ bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
       // oldest — i.e., last-decided — ones). The expired skyband is
       // already exact; skip the re-admission pass.
       stats_.terminated_early = !keep_scanning;
+      if (SOP_OBS_ENABLED()) RecordScanObs(skyband->size());
       return IsSafeForAll(p, *skyband);
     }
     for (const SkybandEntry& e : old_entries_) {
@@ -93,7 +95,16 @@ bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
   }
 
   skyband->Swap(&build_);
+  if (SOP_OBS_ENABLED()) RecordScanObs(skyband->size());
   return IsSafeForAll(p, *skyband);
+}
+
+void KSky::RecordScanObs(size_t skyband_size) const {
+  SOP_COUNTER_ADD("ksky/scans", 1);
+  SOP_COUNTER_ADD("ksky/distances_computed", stats_.distances_computed);
+  SOP_COUNTER_ADD("ksky/candidates_examined", stats_.candidates_examined);
+  if (stats_.terminated_early) SOP_COUNTER_ADD("ksky/early_terminations", 1);
+  SOP_HISTOGRAM_RECORD("ksky/skyband_size", skyband_size);
 }
 
 bool KSky::Examine(Seq seq, int64_t key, int32_t layer) {

@@ -125,6 +125,11 @@ class KSky {
   // appends to build_. Returns false when the scan should terminate.
   bool Examine(Seq seq, int64_t key, int32_t layer);
 
+  // Publishes the finished scan's stats to the observability registry
+  // (ksky/* counters, skyband-size histogram). Call only when
+  // SOP_OBS_ENABLED(); never affects the scan result.
+  void RecordScanObs(size_t skyband_size) const;
+
   // Safe-For-All check over the freshly built skyband.
   bool IsSafeForAll(const Point& p, const LSky& skyband) const;
 

@@ -1,5 +1,7 @@
 #include "sop/core/lsky.h"
 
+#include "sop/obs/trace.h"
+
 namespace sop {
 
 size_t LSky::ExpireBefore(int64_t min_key) {
@@ -10,6 +12,7 @@ size_t LSky::ExpireBefore(int64_t min_key) {
     entries_.pop_back();
     ++removed;
   }
+  if (removed > 0) SOP_COUNTER_ADD("lsky/evictions", removed);
   return removed;
 }
 

@@ -4,6 +4,7 @@
 
 #include "sop/common/check.h"
 #include "sop/common/memory.h"
+#include "sop/obs/trace.h"
 
 namespace sop {
 
@@ -34,6 +35,8 @@ bool SopSession::RemoveQuery(QueryId id) {
 }
 
 void SopSession::Rebuild(int64_t up_to_boundary) {
+  SOP_TRACE("session/rebuild_ms");
+  SOP_COUNTER_ADD("session/rebuilds", 1);
   detector_.reset();
   detector_query_ids_.clear();
   dirty_ = false;
@@ -50,6 +53,8 @@ void SopSession::Rebuild(int64_t up_to_boundary) {
   // Advance that triggered the rebuild.
   for (const HistoryBatch& batch : history_) {
     if (batch.boundary > up_to_boundary) break;
+    SOP_COUNTER_ADD("session/replayed_batches", 1);
+    SOP_COUNTER_ADD("session/replayed_points", batch.points.size());
     detector_->Advance(batch.points, batch.boundary);
   }
 }
@@ -84,6 +89,8 @@ std::vector<SessionResult> SopSession::Advance(std::vector<Point> batch,
     raw = detector_->Advance(std::move(batch), boundary);
   }
 
+  SOP_GAUGE_SET("session/history_batches", history_.size());
+
   std::vector<SessionResult> results;
   results.reserve(raw.size());
   for (QueryResult& r : raw) {
@@ -94,6 +101,14 @@ std::vector<SessionResult> SopSession::Advance(std::vector<Point> batch,
     results.push_back(std::move(sr));
   }
   return results;
+}
+
+void SopSession::Advance(std::vector<Point> batch, int64_t boundary,
+                         const SessionResultSink& sink) {
+  SOP_CHECK_MSG(sink != nullptr, "sink must be callable");
+  for (const SessionResult& r : Advance(std::move(batch), boundary)) {
+    sink(r);
+  }
 }
 
 size_t SopSession::MemoryBytes() const {

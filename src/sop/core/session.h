@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -35,6 +36,10 @@ struct SessionResult {
   int64_t boundary = 0;
   std::vector<Seq> outliers;
 };
+
+/// Callback receiving each due query's emission, mirroring the engine's
+/// ResultSink (detector/engine.h) for streaming consumption.
+using SessionResultSink = std::function<void(const SessionResult&)>;
 
 /// Dynamic multi-query outlier detection session. Not thread-safe.
 class SopSession {
@@ -64,6 +69,13 @@ class SopSession {
   /// query due at `boundary`.
   std::vector<SessionResult> Advance(std::vector<Point> batch,
                                      int64_t boundary);
+
+  /// Sink-style variant of Advance: instead of materializing a vector,
+  /// invokes `sink` once per due query's emission (in ascending query-id
+  /// order), matching the engine's ResultSink shape. Same contract as the
+  /// vector overload otherwise.
+  void Advance(std::vector<Point> batch, int64_t boundary,
+               const SessionResultSink& sink);
 
   /// Approximate evidence + history bytes held.
   size_t MemoryBytes() const;

@@ -6,6 +6,7 @@
 
 #include "sop/common/check.h"
 #include "sop/common/memory.h"
+#include "sop/obs/trace.h"
 #include "sop/stream/window.h"
 
 namespace sop {
@@ -99,9 +100,16 @@ std::vector<QueryResult> SopDetector::Advance(std::vector<Point> batch,
       st.safe = true;
       st.skyband.Release();
       ++stats_.safe_points_discovered;
+      SOP_COUNTER_ADD("sop/safe_points_discovered", 1);
       continue;
     }
     nonsafe_seqs_.push_back(s);
+  }
+  if (SOP_OBS_ENABLED()) {
+    SOP_COUNTER_ADD("sop/batches", 1);
+    SOP_GAUGE_SET("sop/alive_points",
+                  buffer_.next_seq() - buffer_.first_seq());
+    SOP_GAUGE_SET("sop/nonsafe_points", nonsafe_seqs_.size());
   }
 
   // Emissions. Every due query classifies each non-safe point in its

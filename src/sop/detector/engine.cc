@@ -1,11 +1,13 @@
 #include "sop/detector/engine.h"
 
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "sop/common/check.h"
 #include "sop/common/stopwatch.h"
 #include "sop/detector/partitioned.h"
+#include "sop/obs/trace.h"
 #include "sop/stream/window.h"
 
 namespace sop {
@@ -52,6 +54,7 @@ void ExecutionEngine::AdvanceBatch(OutlierDetector* detector,
                                    std::vector<Point> batch, int64_t boundary,
                                    MetricsAccumulator* acc,
                                    const ResultSink& sink) {
+  const size_t batch_points = batch.size();
   Stopwatch watch;
   std::vector<QueryResult> results =
       detector->Advance(std::move(batch), boundary);
@@ -59,6 +62,28 @@ void ExecutionEngine::AdvanceBatch(OutlierDetector* detector,
   uint64_t outliers = 0;
   for (const QueryResult& r : results) outliers += r.outliers.size();
   acc->RecordBatch(cpu_ms, detector->MemoryBytes(), results.size(), outliers);
+  if (obs::Enabled()) {
+    SOP_COUNTER_ADD("engine/batches", 1);
+    SOP_COUNTER_ADD("engine/points", batch_points);
+    SOP_COUNTER_ADD("engine/emissions", results.size());
+    SOP_COUNTER_ADD("engine/outliers", outliers);
+    SOP_HISTOGRAM_RECORD("engine/batch_ms", cpu_ms);
+    // Per-query attribution: names are computed, so the handles cannot be
+    // cached per call site like the macros do; cache them per query index
+    // instead (registry handles are lifetime-stable).
+    for (const QueryResult& r : results) {
+      while (query_counters_.size() <= r.query_index) {
+        const std::string prefix =
+            "query/" + std::to_string(query_counters_.size());
+        auto& registry = obs::MetricsRegistry::Global();
+        query_counters_.emplace_back(
+            &registry.GetCounter(prefix + "/emissions"),
+            &registry.GetCounter(prefix + "/outliers"));
+      }
+      query_counters_[r.query_index].first->Increment();
+      query_counters_[r.query_index].second->Add(r.outliers.size());
+    }
+  }
   if (sink) {
     for (const QueryResult& r : results) sink(r);
   }

@@ -14,17 +14,28 @@
 // An engine is reusable across runs and detectors; the pool is spawned
 // once at construction. Not thread-safe: one engine drives one run at a
 // time.
+//
+// Contract: this is the single run entry point. Every way of driving a
+// detector over a stream — the RunStream convenience wrappers
+// (detector/driver.h), sop_cli, the bench harness — funnels through
+// ExecutionEngine::Run, so window semantics, timing methodology, and
+// observability instrumentation are defined in exactly one place. When
+// observability is enabled (obs/metrics.h), each run additionally records
+// engine/* counters, the engine/batch_ms histogram, and per-query
+// query/<i>/{emissions,outliers} counters into the global registry.
 
 #ifndef SOP_DETECTOR_ENGINE_H_
 #define SOP_DETECTOR_ENGINE_H_
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sop/common/thread_pool.h"
 #include "sop/detector/detector.h"
 #include "sop/detector/metrics.h"
+#include "sop/obs/metrics.h"
 #include "sop/query/workload.h"
 #include "sop/stream/source.h"
 
@@ -85,6 +96,12 @@ class ExecutionEngine {
 
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
+
+  // Cached per-query counter handles, indexed by query index:
+  // {query/<i>/emissions, query/<i>/outliers}. Registry handles are
+  // lifetime-stable, so the cache survives Reset() and spans runs; it is
+  // only populated while obs is enabled.
+  std::vector<std::pair<obs::Counter*, obs::Counter*>> query_counters_;
 };
 
 }  // namespace sop

@@ -1,9 +1,9 @@
 #include "sop/detector/factory.h"
 
+#include <algorithm>
 #include <set>
 
 #include "sop/baselines/leap.h"
-#include "sop/baselines/mcod.h"
 #include "sop/baselines/naive.h"
 #include "sop/common/check.h"
 #include "sop/core/grouped_sop.h"
@@ -11,56 +11,15 @@
 
 namespace sop {
 
-bool ParseDetectorKind(const std::string& name, DetectorKind* out) {
-  if (name == "sop") {
-    *out = DetectorKind::kSop;
-    return true;
-  }
-  if (name == "sop-grid") {
-    *out = DetectorKind::kSopGrid;
-    return true;
-  }
-  if (name == "grouped-sop") {
-    *out = DetectorKind::kGroupedSop;
-    return true;
-  }
-  if (name == "leap") {
-    *out = DetectorKind::kLeap;
-    return true;
-  }
-  if (name == "mcod") {
-    *out = DetectorKind::kMcod;
-    return true;
-  }
-  if (name == "mcod-grid") {
-    *out = DetectorKind::kMcodGrid;
-    return true;
-  }
-  if (name == "naive") {
-    *out = DetectorKind::kNaive;
-    return true;
-  }
-  return false;
+const std::vector<std::string>& KnownDetectorNames() {
+  static const std::vector<std::string> names = {
+      "sop", "sop-grid", "grouped-sop", "leap", "mcod", "mcod-grid", "naive"};
+  return names;
 }
 
-const char* DetectorKindName(DetectorKind kind) {
-  switch (kind) {
-    case DetectorKind::kSop:
-      return "sop";
-    case DetectorKind::kSopGrid:
-      return "sop-grid";
-    case DetectorKind::kGroupedSop:
-      return "grouped-sop";
-    case DetectorKind::kLeap:
-      return "leap";
-    case DetectorKind::kMcod:
-      return "mcod";
-    case DetectorKind::kMcodGrid:
-      return "mcod-grid";
-    case DetectorKind::kNaive:
-      return "naive";
-  }
-  return "unknown";
+bool IsKnownDetector(const std::string& name) {
+  const std::vector<std::string>& names = KnownDetectorNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 namespace {
@@ -83,49 +42,40 @@ std::unique_ptr<OutlierDetector> MaybeSplitByAttributes(
 
 }  // namespace
 
-std::unique_ptr<OutlierDetector> CreateDetector(
-    DetectorKind kind, const Workload& workload,
-    const SopDetector::Options* sop_options) {
-  const SopDetector::Options options =
-      sop_options != nullptr ? *sop_options : SopDetector::Options{};
-  switch (kind) {
-    case DetectorKind::kSop:
-      return MaybeSplitByAttributes(workload, [options](const Workload& sub) {
-        return std::make_unique<SopDetector>(sub, options);
-      });
-    case DetectorKind::kSopGrid: {
-      SopDetector::Options grid_options = options;
-      grid_options.use_grid_index = true;
-      return MaybeSplitByAttributes(
-          workload, [grid_options](const Workload& sub) {
-            return std::make_unique<SopDetector>(sub, grid_options);
-          });
-    }
-    case DetectorKind::kGroupedSop:
-      return MaybeSplitByAttributes(
-          workload,
-          [options](const Workload& sub)
-              -> std::unique_ptr<OutlierDetector> {
-            return std::make_unique<GroupedSopDetector>(sub, options);
-          });
-    case DetectorKind::kLeap:
-      return std::make_unique<LeapDetector>(workload);
-    case DetectorKind::kMcod:
-      return MaybeSplitByAttributes(
-          workload, [](const Workload& sub) -> std::unique_ptr<OutlierDetector> {
-            return std::make_unique<McodDetector>(sub);
-          });
-    case DetectorKind::kMcodGrid:
-      return MaybeSplitByAttributes(
-          workload, [](const Workload& sub) -> std::unique_ptr<OutlierDetector> {
-            McodDetector::Options mcod_options;
-            mcod_options.use_grid_index = true;
-            return std::make_unique<McodDetector>(sub, mcod_options);
-          });
-    case DetectorKind::kNaive:
-      return std::make_unique<NaiveDetector>(workload);
+std::unique_ptr<OutlierDetector> CreateDetector(const std::string& name,
+                                                const Workload& workload,
+                                                const DetectorOptions& options) {
+  if (name == "sop" || name == "sop-grid") {
+    SopDetector::Options sop_options = options.sop;
+    if (name == "sop-grid") sop_options.use_grid_index = true;
+    return MaybeSplitByAttributes(workload, [sop_options](const Workload& sub) {
+      return std::make_unique<SopDetector>(sub, sop_options);
+    });
   }
-  SOP_CHECK_MSG(false, "unknown detector kind");
+  if (name == "grouped-sop") {
+    const SopDetector::Options sop_options = options.sop;
+    return MaybeSplitByAttributes(
+        workload,
+        [sop_options](const Workload& sub) -> std::unique_ptr<OutlierDetector> {
+          return std::make_unique<GroupedSopDetector>(sub, sop_options);
+        });
+  }
+  if (name == "leap") {
+    return std::make_unique<LeapDetector>(workload);
+  }
+  if (name == "mcod" || name == "mcod-grid") {
+    McodDetector::Options mcod_options = options.mcod;
+    if (name == "mcod-grid") mcod_options.use_grid_index = true;
+    return MaybeSplitByAttributes(
+        workload,
+        [mcod_options](const Workload& sub) -> std::unique_ptr<OutlierDetector> {
+          return std::make_unique<McodDetector>(sub, mcod_options);
+        });
+  }
+  if (name == "naive") {
+    return std::make_unique<NaiveDetector>(workload);
+  }
+  SOP_CHECK_MSG(false, ("unknown detector: " + name).c_str());
   return nullptr;
 }
 

@@ -1,44 +1,55 @@
-// Construction of detectors by kind, with transparent multi-attribute
-// splitting where an algorithm requires a single attribute set.
+// The single detector construction path: every binary (sop_cli, the bench
+// harness, the tests, user code) builds detectors from their string names
+// through CreateDetector. Detector-specific tuning rides along in
+// DetectorOptions; transparent multi-attribute splitting is applied where
+// an algorithm requires a single attribute set.
 
 #ifndef SOP_DETECTOR_FACTORY_H_
 #define SOP_DETECTOR_FACTORY_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "sop/baselines/mcod.h"
 #include "sop/core/sop_detector.h"
 #include "sop/detector/detector.h"
 #include "sop/query/workload.h"
 
 namespace sop {
 
-/// The algorithms this repository ships.
-enum class DetectorKind {
-  kSop,         // the paper's contribution
-  kSopGrid,     // SOP with grid-indexed K-SKY candidate enumeration
-  kGroupedSop,  // paper Sec. 3.2 strawman: independent skyband per k-group
-  kLeap,        // per-query LEAP baseline [ICDE'14]
-  kMcod,        // augmented multi-query MCOD baseline [ICDE'11]
-  kMcodGrid,    // MCOD with grid-indexed range queries (M-tree analog)
-  kNaive,       // exact brute force (test oracle)
+/// Tuning knobs forwarded to the detector selected by name. Defaults
+/// reproduce each paper's algorithm; the ablation benches override
+/// individual fields. Grid-variant names ("sop-grid", "mcod-grid") force
+/// the corresponding use_grid_index flag regardless of what is set here.
+struct DetectorOptions {
+  /// For "sop" / "sop-grid" / "grouped-sop".
+  SopDetector::Options sop;
+  /// For "mcod" / "mcod-grid".
+  McodDetector::Options mcod;
 };
 
-/// Parses "sop" / "sop-grid" / "grouped-sop" / "leap" / "mcod" /
-/// "mcod-grid" / "naive". Returns true on success.
-bool ParseDetectorKind(const std::string& name, DetectorKind* out);
+/// The algorithm names this repository ships:
+///   "sop"          the paper's contribution
+///   "sop-grid"     SOP with grid-indexed K-SKY candidate enumeration
+///   "grouped-sop"  paper Sec. 3.2 strawman: independent skyband per k-group
+///   "leap"         per-query LEAP baseline [ICDE'14]
+///   "mcod"         augmented multi-query MCOD baseline [ICDE'11]
+///   "mcod-grid"    MCOD with grid-indexed range queries (M-tree analog)
+///   "naive"        exact brute force (test oracle)
+const std::vector<std::string>& KnownDetectorNames();
 
-/// Name of `kind`.
-const char* DetectorKindName(DetectorKind kind);
+/// True iff `name` is one of KnownDetectorNames().
+bool IsKnownDetector(const std::string& name);
 
-/// Builds a detector for `workload`. SOP and MCOD require a single
-/// attribute set per instance, so workloads mixing attribute sets are
-/// wrapped in a MultiAttributeDetector automatically; LEAP and Naive
-/// handle mixed sets natively. `sop_options` tunes SOP (ablations); null
-/// means paper defaults.
+/// Builds the detector named `name` for `workload`. SOP and MCOD require a
+/// single attribute set per instance, so workloads mixing attribute sets
+/// are wrapped in a MultiAttributeDetector automatically; LEAP and Naive
+/// handle mixed sets natively. CHECK-fails on an unknown name — validate
+/// user input with IsKnownDetector first.
 std::unique_ptr<OutlierDetector> CreateDetector(
-    DetectorKind kind, const Workload& workload,
-    const SopDetector::Options* sop_options = nullptr);
+    const std::string& name, const Workload& workload,
+    const DetectorOptions& options = {});
 
 }  // namespace sop
 

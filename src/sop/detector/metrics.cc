@@ -5,18 +5,6 @@
 
 namespace sop {
 
-namespace {
-
-// Nearest-rank percentile of an ascending-sorted sample.
-double PercentileOfSorted(const std::vector<double>& sorted, double pct) {
-  if (sorted.empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(
-      pct / 100.0 * static_cast<double>(sorted.size()) + 0.5);
-  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
-}
-
-}  // namespace
-
 std::string RunMetrics::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -38,6 +26,24 @@ std::string RunMetrics::LatencyToString() const {
   return buf;
 }
 
+std::string RunMetrics::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"num_batches\": %lld, \"total_cpu_ms\": %.6f, "
+      "\"avg_cpu_ms_per_window\": %.6f, \"p50_batch_ms\": %.6f, "
+      "\"p95_batch_ms\": %.6f, \"max_batch_ms\": %.6f, "
+      "\"peak_memory_bytes\": %llu, \"total_emissions\": %llu, "
+      "\"total_outliers\": %llu, \"total_points\": %lld}",
+      static_cast<long long>(num_batches), total_cpu_ms,
+      avg_cpu_ms_per_window, p50_batch_ms, p95_batch_ms, max_batch_ms,
+      static_cast<unsigned long long>(peak_memory_bytes),
+      static_cast<unsigned long long>(total_emissions),
+      static_cast<unsigned long long>(total_outliers),
+      static_cast<long long>(total_points));
+  return buf;
+}
+
 void MetricsAccumulator::RecordBatch(double cpu_ms, size_t memory_bytes,
                                      uint64_t emissions, uint64_t outliers) {
   ++metrics_.num_batches;
@@ -46,7 +52,7 @@ void MetricsAccumulator::RecordBatch(double cpu_ms, size_t memory_bytes,
       std::max(metrics_.peak_memory_bytes, memory_bytes);
   metrics_.total_emissions += emissions;
   metrics_.total_outliers += outliers;
-  batch_ms_.push_back(cpu_ms);
+  batch_ms_.Record(cpu_ms);
 }
 
 RunMetrics MetricsAccumulator::Finish() {
@@ -54,11 +60,11 @@ RunMetrics MetricsAccumulator::Finish() {
     metrics_.avg_cpu_ms_per_window =
         metrics_.total_cpu_ms / static_cast<double>(metrics_.num_batches);
   }
-  if (!batch_ms_.empty()) {
-    std::sort(batch_ms_.begin(), batch_ms_.end());
-    metrics_.p50_batch_ms = PercentileOfSorted(batch_ms_, 50.0);
-    metrics_.p95_batch_ms = PercentileOfSorted(batch_ms_, 95.0);
-    metrics_.max_batch_ms = batch_ms_.back();
+  const obs::Histogram::Stats latency = batch_ms_.ComputeStats();
+  if (latency.count > 0) {
+    metrics_.p50_batch_ms = latency.p50;
+    metrics_.p95_batch_ms = latency.p95;
+    metrics_.max_batch_ms = latency.max;
   }
   return metrics_;
 }

@@ -1,6 +1,13 @@
 // Run metrics collected by the execution engine: the paper's two
 // evaluation metrics (average CPU time per window, peak memory) plus
 // per-batch latency percentiles and bookkeeping.
+//
+// Since the observability subsystem landed (obs/, DESIGN.md Sec. 11),
+// RunMetrics is a thin aggregate computed from an obs::Histogram of batch
+// latencies — the same nearest-rank percentile math serves both — while
+// the registry carries the fine-grained per-subsystem counters. RunMetrics
+// stays a plain value struct so existing call sites and tests are
+// unaffected by whether observability is compiled in or enabled.
 
 #ifndef SOP_DETECTOR_METRICS_H_
 #define SOP_DETECTOR_METRICS_H_
@@ -8,7 +15,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "sop/obs/metrics.h"
 
 namespace sop {
 
@@ -39,6 +47,8 @@ struct RunMetrics {
   std::string ToString() const;
   /// One-line latency distribution summary ("p50=... p95=... max=...").
   std::string LatencyToString() const;
+  /// One JSON object with every field (for --metrics-out and tooling).
+  std::string ToJson() const;
 };
 
 /// Incremental accumulator used by the execution engine.
@@ -53,7 +63,7 @@ class MetricsAccumulator {
 
  private:
   RunMetrics metrics_;
-  std::vector<double> batch_ms_;  // one entry per RecordBatch
+  obs::Histogram batch_ms_;  // one sample per RecordBatch
 };
 
 }  // namespace sop

@@ -33,6 +33,7 @@
 
 #include "sop/common/distance.h"
 #include "sop/common/point.h"
+#include "sop/obs/trace.h"
 
 namespace sop {
 
@@ -68,6 +69,10 @@ class GridIndex {
     // dimension, pruning by the metric lower bound.
     CellCoords coords(ndims);
     std::vector<int64_t> offset(ndims, -span);
+    // Register-local tallies; published in one gated batch below so the
+    // scan itself never branches on the observability state.
+    [[maybe_unused]] uint64_t obs_cells = 0;
+    [[maybe_unused]] uint64_t obs_candidates = 0;
     for (;;) {
       for (size_t i = 0; i < ndims; ++i) coords[i] = center[i] + offset[i];
       if (CellLowerBound(p, coords) <= r) {
@@ -75,6 +80,8 @@ class GridIndex {
         if (it != cells_.end()) {
           for (const Entry& e : it->second) {
             if (e.coords != coords) continue;
+            ++obs_cells;
+            obs_candidates += e.seqs.size();
             for (const Seq s : e.seqs) visit(s);
           }
         }
@@ -87,6 +94,9 @@ class GridIndex {
       }
       if (i == ndims) break;
     }
+    SOP_COUNTER_ADD("grid/scans", 1);
+    SOP_COUNTER_ADD("grid/cells_visited", obs_cells);
+    SOP_COUNTER_ADD("grid/candidates_yielded", obs_candidates);
   }
 
   /// Batched form of VisitCandidates: clears `*out` and fills it with the

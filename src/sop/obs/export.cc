@@ -1,0 +1,193 @@
+#include "sop/obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sop {
+namespace obs {
+
+namespace {
+
+// Shortest round-trippable representation without scientific-notation
+// surprises for typical metric magnitudes; always finite and JSON-legal.
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct HistField {
+  const char* name;
+  double value;
+};
+
+std::vector<HistField> HistogramFields(const Histogram::Stats& h) {
+  return {{"count", static_cast<double>(h.count)},
+          {"sum", h.sum},
+          {"mean", h.mean},
+          {"min", h.min},
+          {"max", h.max},
+          {"p50", h.p50},
+          {"p90", h.p90},
+          {"p95", h.p95},
+          {"p99", h.p99}};
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, stats] : snapshot.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": {";
+    bool first_field = true;
+    for (const HistField& f : HistogramFields(stats)) {
+      if (!first_field) out += ", ";
+      first_field = false;
+      out += "\"" + std::string(f.name) + "\": " + FormatDouble(f.value);
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToCsv(const Snapshot& snapshot) {
+  std::string out = "kind,name,field,value\n";
+  char buf[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(buf, sizeof(buf), "counter,%s,value,%" PRIu64 "\n",
+                  name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge,%s,value,%" PRId64 "\n",
+                  name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    for (const HistField& f : HistogramFields(stats)) {
+      std::snprintf(buf, sizeof(buf), "histogram,%s,%s,%s\n", name.c_str(),
+                    f.name, FormatDouble(f.value).c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string ToText(const Snapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %20" PRIu64 "\n", name.c_str(),
+                    value);
+      out += buf;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %20" PRId64 "\n", name.c_str(),
+                    value);
+      out += buf;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-40s count=%" PRIu64
+                    " mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+                    name.c_str(), h.count, h.mean, h.p50, h.p95, h.p99, h.max);
+      out += buf;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+bool WriteSnapshotFile(const Snapshot& snapshot, const std::string& path,
+                       std::string* error) {
+  std::string body;
+  const auto ends_with = [&path](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".json")) {
+    body = ToJson(snapshot);
+    body += "\n";
+  } else if (ends_with(".csv")) {
+    body = ToCsv(snapshot);
+  } else {
+    body = ToText(snapshot);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!(ok && closed)) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace sop

@@ -1,0 +1,138 @@
+#include "sop/obs/metrics.h"
+
+#include <algorithm>
+
+namespace sop {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double NearestRankPercentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      pct / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+namespace {
+// Bounds the stored sample buffer; past this, the buffer is halved and the
+// keep-stride doubles. 64Ki doubles = 512KiB worst case per histogram.
+constexpr size_t kMaxSamples = 1 << 16;
+}  // namespace
+
+void Histogram::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (seen_++ % stride_ == 0) {
+    if (samples_.size() >= kMaxSamples) {
+      // Deterministic decimation: keep every other stored sample.
+      for (size_t i = 0; 2 * i < samples_.size(); ++i) {
+        samples_[i] = samples_[2 * i];
+      }
+      samples_.resize(samples_.size() / 2);
+      stride_ *= 2;
+      if ((seen_ - 1) % stride_ != 0) return;  // this sample now skipped
+    }
+    samples_.push_back(v);
+  }
+}
+
+Histogram::Stats Histogram::ComputeStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.count = count_;
+  if (count_ == 0) return stats;
+  stats.sum = sum_;
+  stats.mean = sum_ / static_cast<double>(count_);
+  stats.min = min_;
+  stats.max = max_;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50 = NearestRankPercentile(sorted, 50.0);
+  stats.p90 = NearestRankPercentile(sorted, 90.0);
+  stats.p95 = NearestRankPercentile(sorted, 95.0);
+  stats.p99 = NearestRankPercentile(sorted, 99.0);
+  return stats;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  stride_ = 1;
+  seen_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumentation sites cache handles in function
+  // statics whose last use may happen during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->ComputeStats();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace sop

@@ -1,0 +1,106 @@
+// Hot-path instrumentation macros over obs/metrics.h.
+//
+// Every macro takes a STRING LITERAL metric name: the expansion binds the
+// name to the metric handle once per call site (function-local static), so
+// the steady-state cost when enabled is one predictable branch plus one
+// relaxed atomic op — no hashing, no allocation. When runtime-disabled
+// (the default) each site costs exactly one branch and evaluates neither
+// the name nor the value expression. Under -DSOP_NO_OBS the macros expand
+// to nothing at all: the value expression is swallowed unevaluated, so the
+// instrumented binary is bit-identical in behaviour to an uninstrumented
+// one.
+//
+// For metrics whose names are computed at runtime (e.g. per-query
+// counters), call MetricsRegistry::Global() directly behind an
+// obs::Enabled() check and cache the handles yourself — see
+// detector/engine.cc.
+//
+//   SOP_COUNTER_ADD("ksky/scans", 1);
+//   SOP_GAUGE_SET("sop/alive_points", buffer_.size());
+//   SOP_HISTOGRAM_RECORD("ksky/skyband_size", skyband->size());
+//   { SOP_TRACE("session/rebuild_ms"); Rebuild(boundary); }
+
+#ifndef SOP_OBS_TRACE_H_
+#define SOP_OBS_TRACE_H_
+
+#include "sop/obs/metrics.h"
+
+// True iff instrumentation is compiled in and runtime-enabled; use to
+// guard multi-statement recording blocks with a single branch.
+#define SOP_OBS_ENABLED() (::sop::obs::Enabled())
+
+#if defined(SOP_NO_OBS)
+
+// The value operand is referenced unevaluated (sizeof) so variables that
+// exist only to feed a metric do not trip -Wunused under -DSOP_NO_OBS.
+#define SOP_COUNTER_ADD(name, n) \
+  do {                           \
+    (void)sizeof(n);             \
+  } while (0)
+#define SOP_GAUGE_SET(name, v) \
+  do {                         \
+    (void)sizeof(v);           \
+  } while (0)
+#define SOP_GAUGE_SET_MAX(name, v) \
+  do {                             \
+    (void)sizeof(v);               \
+  } while (0)
+#define SOP_HISTOGRAM_RECORD(name, v) \
+  do {                                \
+    (void)sizeof(v);                  \
+  } while (0)
+#define SOP_TRACE(name) ((void)0)
+
+#else  // !SOP_NO_OBS
+
+#define SOP_OBS_INTERNAL_CONCAT2(a, b) a##b
+#define SOP_OBS_INTERNAL_CONCAT(a, b) SOP_OBS_INTERNAL_CONCAT2(a, b)
+
+#define SOP_COUNTER_ADD(name, n)                                    \
+  do {                                                              \
+    if (::sop::obs::Enabled()) {                                    \
+      static ::sop::obs::Counter& sop_obs_handle =                  \
+          ::sop::obs::MetricsRegistry::Global().GetCounter(name);   \
+      sop_obs_handle.Add(static_cast<uint64_t>(n));                 \
+    }                                                               \
+  } while (0)
+
+#define SOP_GAUGE_SET(name, v)                                      \
+  do {                                                              \
+    if (::sop::obs::Enabled()) {                                    \
+      static ::sop::obs::Gauge& sop_obs_handle =                    \
+          ::sop::obs::MetricsRegistry::Global().GetGauge(name);     \
+      sop_obs_handle.Set(static_cast<int64_t>(v));                  \
+    }                                                               \
+  } while (0)
+
+#define SOP_GAUGE_SET_MAX(name, v)                                  \
+  do {                                                              \
+    if (::sop::obs::Enabled()) {                                    \
+      static ::sop::obs::Gauge& sop_obs_handle =                    \
+          ::sop::obs::MetricsRegistry::Global().GetGauge(name);     \
+      sop_obs_handle.SetMax(static_cast<int64_t>(v));               \
+    }                                                               \
+  } while (0)
+
+#define SOP_HISTOGRAM_RECORD(name, v)                               \
+  do {                                                              \
+    if (::sop::obs::Enabled()) {                                    \
+      static ::sop::obs::Histogram& sop_obs_handle =                \
+          ::sop::obs::MetricsRegistry::Global().GetHistogram(name); \
+      sop_obs_handle.Record(static_cast<double>(v));                \
+    }                                                               \
+  } while (0)
+
+// Times the enclosing scope into histogram `name` (milliseconds). Declares
+// a uniquely named local; one per line.
+#define SOP_TRACE(name)                                                \
+  ::sop::obs::ScopedTrace SOP_OBS_INTERNAL_CONCAT(sop_obs_trace_,      \
+                                                  __LINE__)(           \
+      ::sop::obs::Enabled()                                            \
+          ? &::sop::obs::MetricsRegistry::Global().GetHistogram(name)  \
+          : nullptr)
+
+#endif  // SOP_NO_OBS
+
+#endif  // SOP_OBS_TRACE_H_

@@ -160,34 +160,23 @@ TEST(SopGridTest, GridVariantHandlesTimeWindows) {
                     CollectResults(w, points, &grid), "sop grid time");
 }
 
-TEST(FactoryTest, ParsesAllKinds) {
-  DetectorKind kind;
-  EXPECT_TRUE(ParseDetectorKind("sop", &kind));
-  EXPECT_EQ(kind, DetectorKind::kSop);
-  EXPECT_TRUE(ParseDetectorKind("sop-grid", &kind));
-  EXPECT_EQ(kind, DetectorKind::kSopGrid);
-  EXPECT_TRUE(ParseDetectorKind("grouped-sop", &kind));
-  EXPECT_TRUE(ParseDetectorKind("mcod-grid", &kind));
-  EXPECT_TRUE(ParseDetectorKind("leap", &kind));
-  EXPECT_TRUE(ParseDetectorKind("mcod", &kind));
-  EXPECT_TRUE(ParseDetectorKind("naive", &kind));
-  EXPECT_FALSE(ParseDetectorKind("bogus", &kind));
-  EXPECT_STREQ(DetectorKindName(DetectorKind::kGroupedSop), "grouped-sop");
-  EXPECT_STREQ(DetectorKindName(DetectorKind::kMcodGrid), "mcod-grid");
-  EXPECT_STREQ(DetectorKindName(DetectorKind::kSopGrid), "sop-grid");
+TEST(FactoryTest, KnowsAllNames) {
+  for (const char* name : {"sop", "sop-grid", "grouped-sop", "mcod-grid",
+                           "leap", "mcod", "naive"}) {
+    EXPECT_TRUE(IsKnownDetector(name)) << name;
+  }
+  EXPECT_FALSE(IsKnownDetector("bogus"));
+  EXPECT_FALSE(IsKnownDetector(""));
+  EXPECT_EQ(KnownDetectorNames().size(), 7u);
 }
 
 TEST(FactoryTest, AllKindsMatchOracleOnOneWorkload) {
   const Workload w = MixedKWorkload();
   const std::vector<Point> points = ClusteredStream(120, 99);
   const std::vector<QueryResult> expected = ExpectedResults(w, points);
-  for (const DetectorKind kind :
-       {DetectorKind::kSop, DetectorKind::kSopGrid, DetectorKind::kGroupedSop,
-        DetectorKind::kLeap, DetectorKind::kMcod, DetectorKind::kMcodGrid,
-        DetectorKind::kNaive}) {
-    std::unique_ptr<OutlierDetector> d = CreateDetector(kind, w);
-    ExpectSameResults(expected, CollectResults(w, points, d.get()),
-                      DetectorKindName(kind));
+  for (const std::string& name : KnownDetectorNames()) {
+    std::unique_ptr<OutlierDetector> d = CreateDetector(name, w);
+    ExpectSameResults(expected, CollectResults(w, points, d.get()), name);
   }
 }
 

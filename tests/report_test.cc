@@ -60,7 +60,7 @@ TEST(OutlierAggregatorTest, MatchesDriverEmissions) {
   const std::vector<Point> points = testing::Points1D(
       {0.0, 0.4, 5.0, 0.8, 1.2, 5.4, 9.0, 1.6, 2.0, 5.8, 2.4, 0.0});
   std::unique_ptr<OutlierDetector> detector =
-      CreateDetector(DetectorKind::kSop, w);
+      CreateDetector("sop", w);
   OutlierAggregator agg;
   uint64_t flat_flags = 0;
   RunStream(w, points, detector.get(), [&](const QueryResult& r) {

@@ -177,6 +177,36 @@ TEST(SopSessionTest, HistoryTrimmingBoundsMemory) {
   EXPECT_LT(end, mid * 3);
 }
 
+TEST(SopSessionTest, SinkOverloadMatchesVectorOverload) {
+  Workload w(WindowType::kCount);
+  w.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  w.AddQuery(OutlierQuery(3.0, 4, 24, 8));
+  const std::vector<Point> points = SessionStream(96, 5);
+
+  SopSession vector_session(WindowType::kCount, Metric::kEuclidean, 64);
+  vector_session.AddQuery(w.query(0));
+  vector_session.AddQuery(w.query(1));
+  SopSession sink_session(WindowType::kCount, Metric::kEuclidean, 64);
+  sink_session.AddQuery(w.query(0));
+  sink_session.AddQuery(w.query(1));
+
+  for (int64_t b = 0; b < 24; ++b) {
+    std::vector<Point> batch(points.begin() + static_cast<size_t>(b * 4),
+                             points.begin() + static_cast<size_t>((b + 1) * 4));
+    const std::vector<SessionResult> expected =
+        vector_session.Advance(batch, (b + 1) * 4);
+    std::vector<SessionResult> sunk;
+    sink_session.Advance(std::move(batch), (b + 1) * 4,
+                         [&](const SessionResult& r) { sunk.push_back(r); });
+    ASSERT_EQ(sunk.size(), expected.size()) << "batch " << b;
+    for (size_t i = 0; i < sunk.size(); ++i) {
+      EXPECT_EQ(sunk[i].query_id, expected[i].query_id);
+      EXPECT_EQ(sunk[i].boundary, expected[i].boundary);
+      EXPECT_EQ(sunk[i].outliers, expected[i].outliers);
+    }
+  }
+}
+
 TEST(SopSessionTest, RejectsInvalidQueries) {
   SopSession session(WindowType::kCount, Metric::kEuclidean, 32);
   EXPECT_DEATH(session.AddQuery(OutlierQuery(0.0, 2, 16, 4)), "r must");

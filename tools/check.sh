@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # check.sh: build the full tree under AddressSanitizer+UBSan and run the
-# test suite. Catches the memory bugs the release build hides (the thread
-# pool and the grid scratch buffers in particular).
+# test suite, then build and run it again with the observability layer
+# compiled out (-DSOP_NO_OBS) to keep the no-op macro expansions honest.
+# Catches the memory bugs the release build hides (the thread pool and the
+# grid scratch buffers in particular).
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -11,3 +13,7 @@ cd "$(dirname "$0")/.."
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan -j"$(nproc)" "$@"
+
+cmake --preset noobs
+cmake --build --preset noobs -j"$(nproc)"
+ctest --preset noobs -j"$(nproc)" "$@"

@@ -3,20 +3,29 @@
 //
 // Usage:
 //   sop_cli --workload spec.txt (--data points.csv | --synthetic N | --stt N)
-//           [--detector sop|sop-grid|grouped-sop|leap|mcod|mcod-grid|naive]
-//           [--threads N] [--print-outliers] [--aggregate] [--max-print N]
-//           [--seed S]
+//           [--detector NAME[,NAME...]] [--threads N] [--metrics-out PATH]
+//           [--print-outliers] [--aggregate] [--max-print N] [--seed S]
 //
-// The workload spec format is documented in sop/io/workload_parser.h.
-// Prints run metrics (the paper's CPU/MEM measures plus per-batch latency
-// percentiles) and, optionally, every emission's outliers. --threads N > 1
-// fans partitioned detectors (multi-attribute workloads, grouped-sop) out
-// across a worker pool; 0 means one thread per hardware core.
+// The workload spec format is documented in sop/io/workload_parser.h and
+// detector names in sop/detector/factory.h. --detector takes a
+// comma-separated list; every named detector runs over the identical
+// stream in turn (the stream is materialized once), which is how
+// side-by-side counter comparisons are made. Prints run metrics (the
+// paper's CPU/MEM measures plus per-batch latency percentiles) and,
+// optionally, every emission's outliers. --threads N > 1 fans partitioned
+// detectors (multi-attribute workloads, grouped-sop) out across a worker
+// pool; 0 means one thread per hardware core.
+//
+// --metrics-out PATH enables the observability layer and writes one JSON
+// document containing, per detector run, the RunMetrics plus the full
+// registry snapshot (per-subsystem and per-query counters). The registry
+// is reset between runs so each snapshot is attributable to one detector.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +36,8 @@
 #include "sop/gen/synthetic.h"
 #include "sop/io/csv.h"
 #include "sop/io/workload_parser.h"
+#include "sop/obs/export.h"
+#include "sop/obs/metrics.h"
 #include "sop/report/aggregate.h"
 
 namespace {
@@ -37,10 +48,25 @@ void Usage(const char* argv0) {
       "usage: %s --workload spec.txt (--data points.csv | --synthetic N |"
       " --stt N)\n"
       "          [--detector sop|sop-grid|grouped-sop|leap|mcod|mcod-grid|"
-      "naive]\n"
-      "          [--threads N] [--print-outliers] [--max-print N] "
-      "[--seed S]\n",
+      "naive[,...]]\n"
+      "          [--threads N] [--metrics-out PATH] [--print-outliers]\n"
+      "          [--max-print N] [--seed S]\n",
       argv0);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
 }
 
 }  // namespace
@@ -50,9 +76,10 @@ int main(int argc, char** argv) {
 
   std::string workload_path;
   std::string data_path;
+  std::string metrics_out;
   int64_t synthetic_n = 0;
   int64_t stt_n = 0;
-  DetectorKind kind = DetectorKind::kSop;
+  std::vector<std::string> detectors = {"sop"};
   bool print_outliers = false;
   bool aggregate = false;
   int64_t max_print = 20;
@@ -77,11 +104,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--stt") {
       stt_n = std::atoll(next());
     } else if (arg == "--detector") {
-      const char* name = next();
-      if (!ParseDetectorKind(name, &kind)) {
-        std::fprintf(stderr, "unknown detector: %s\n", name);
-        return 2;
+      detectors = SplitCommas(next());
+      for (const std::string& name : detectors) {
+        if (!IsKnownDetector(name)) {
+          std::fprintf(stderr, "unknown detector: %s\n", name.c_str());
+          return 2;
+        }
       }
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--print-outliers") {
       print_outliers = true;
     } else if (arg == "--aggregate") {
@@ -106,7 +137,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (workload_path.empty()) {
+  if (workload_path.empty() || detectors.empty()) {
     Usage(argv[0]);
     return 2;
   }
@@ -117,75 +148,120 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::unique_ptr<StreamSource> source;
+  // Materialize the stream once so every detector sees identical points.
+  std::vector<Point> points;
   if (!data_path.empty()) {
-    std::vector<Point> points;
     if (!io::LoadPointsCsv(data_path, &points, &error)) {
       std::fprintf(stderr, "data error: %s\n", error.c_str());
       return 1;
     }
-    source = std::make_unique<VectorSource>(std::move(points));
   } else if (synthetic_n > 0) {
     gen::SyntheticOptions options;
     options.seed = seed;
-    source = std::make_unique<gen::SyntheticSource>(synthetic_n, options);
+    gen::SyntheticSource source(synthetic_n, options);
+    Point p;
+    while (source.Next(&p)) points.push_back(std::move(p));
   } else if (stt_n > 0) {
     gen::SttOptions options;
     options.seed = seed;
-    source = std::make_unique<gen::SttSource>(stt_n, options);
+    gen::SttSource source(stt_n, options);
+    Point p;
+    while (source.Next(&p)) points.push_back(std::move(p));
   } else {
     std::fprintf(stderr, "no data source given\n");
     Usage(argv[0]);
     return 2;
   }
 
-  std::unique_ptr<OutlierDetector> detector = CreateDetector(kind, workload);
+  const bool want_metrics = !metrics_out.empty();
+  if (want_metrics) {
+    if (!obs::kCompiledIn) {
+      std::fprintf(stderr,
+                   "--metrics-out: observability compiled out (SOP_NO_OBS); "
+                   "counters will be empty\n");
+    }
+    obs::SetEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+  }
+
   ExecOptions exec_options;
   exec_options.num_threads = num_threads;
   ExecutionEngine engine(exec_options);
-  std::fprintf(stderr, "running %zu queries with detector '%s' (%d thread%s)"
-               "...\n",
-               workload.num_queries(), detector->name(),
-               engine.pool() != nullptr ? engine.pool()->num_threads() : 1,
-               engine.pool() != nullptr && engine.pool()->num_threads() > 1
-                   ? "s"
-                   : "");
 
-  int64_t printed = 0;
-  report::OutlierAggregator aggregator;
-  const RunMetrics metrics = engine.Run(
-      workload, source.get(), detector.get(), [&](const QueryResult& r) {
-        if (aggregate) aggregator.Add(r);
-        if (!print_outliers || r.outliers.empty()) return;
-        if (printed++ >= max_print) return;
-        std::printf("query %zu @ %lld:", r.query_index,
-                    static_cast<long long>(r.boundary));
-        size_t shown = 0;
-        for (Seq s : r.outliers) {
-          if (++shown > 16) {
-            std::printf(" ... (%zu total)", r.outliers.size());
-            break;
+  std::string runs_json;
+  for (const std::string& name : detectors) {
+    std::unique_ptr<OutlierDetector> detector = CreateDetector(name, workload);
+    std::fprintf(stderr,
+                 "running %zu queries with detector '%s' (%d thread%s)...\n",
+                 workload.num_queries(), detector->name(),
+                 engine.pool() != nullptr ? engine.pool()->num_threads() : 1,
+                 engine.pool() != nullptr && engine.pool()->num_threads() > 1
+                     ? "s"
+                     : "");
+
+    int64_t printed = 0;
+    report::OutlierAggregator aggregator;
+    const RunMetrics metrics = engine.Run(
+        workload, points, detector.get(), [&](const QueryResult& r) {
+          if (aggregate) aggregator.Add(r);
+          if (!print_outliers || r.outliers.empty()) return;
+          if (printed++ >= max_print) return;
+          std::printf("query %zu @ %lld:", r.query_index,
+                      static_cast<long long>(r.boundary));
+          size_t shown = 0;
+          for (Seq s : r.outliers) {
+            if (++shown > 16) {
+              std::printf(" ... (%zu total)", r.outliers.size());
+              break;
+            }
+            std::printf(" %lld", static_cast<long long>(s));
           }
-          std::printf(" %lld", static_cast<long long>(s));
-        }
-        std::printf("\n");
-      });
+          std::printf("\n");
+        });
 
-  if (aggregate) {
-    // Per-point pivot (the paper's Alg. 3 output format) of the last few
-    // boundaries.
-    const std::vector<int64_t> boundaries = aggregator.Boundaries();
-    const size_t show = std::min<size_t>(boundaries.size(), 3);
-    for (size_t i = boundaries.size() - show; i < boundaries.size(); ++i) {
-      std::printf("--- outliers at boundary %lld ---\n%s",
-                  static_cast<long long>(boundaries[i]),
-                  aggregator.ToString(boundaries[i]).c_str());
+    if (aggregate) {
+      // Per-point pivot (the paper's Alg. 3 output format) of the last few
+      // boundaries.
+      const std::vector<int64_t> boundaries = aggregator.Boundaries();
+      const size_t show = std::min<size_t>(boundaries.size(), 3);
+      for (size_t i = boundaries.size() - show; i < boundaries.size(); ++i) {
+        std::printf("--- outliers at boundary %lld ---\n%s",
+                    static_cast<long long>(boundaries[i]),
+                    aggregator.ToString(boundaries[i]).c_str());
+      }
+      std::printf("flagged %zu distinct points across %zu point-windows\n",
+                  aggregator.NumDistinctPoints(),
+                  aggregator.NumFlaggedPointWindows());
     }
-    std::printf("flagged %zu distinct points across %zu point-windows\n",
-                aggregator.NumDistinctPoints(),
-                aggregator.NumFlaggedPointWindows());
+    std::printf("[%s] %s\n", name.c_str(), metrics.ToString().c_str());
+    std::printf("[%s] %s\n", name.c_str(), metrics.LatencyToString().c_str());
+
+    if (want_metrics) {
+      // Snapshot-and-reset attributes the registry contents to this run.
+      const obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
+      obs::MetricsRegistry::Global().Reset();
+      if (!runs_json.empty()) runs_json += ",\n";
+      runs_json += "    {\"detector\": \"" + obs::JsonEscape(name) +
+                   "\", \"run\": " + metrics.ToJson() +
+                   ", \"counters\": " + obs::ToJson(snap) + "}";
+    }
   }
-  std::printf("%s\n", metrics.ToString().c_str());
-  std::printf("%s\n", metrics.LatencyToString().c_str());
+
+  if (want_metrics) {
+    std::string doc = "{\n  \"workload\": {\"path\": \"" +
+                      obs::JsonEscape(workload_path) +
+                      "\", \"num_queries\": " +
+                      std::to_string(workload.num_queries()) +
+                      ", \"window_type\": \"" +
+                      (workload.window_type() == WindowType::kCount ? "count"
+                                                                    : "time") +
+                      "\"},\n  \"runs\": [\n" + runs_json + "\n  ]\n}\n";
+    std::ofstream out(metrics_out, std::ios::binary);
+    if (!out || !(out << doc) || !out.flush()) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }
