@@ -3,21 +3,52 @@
 #ifndef SOP_BENCH_BENCH_DATA_H_
 #define SOP_BENCH_BENCH_DATA_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "figure.h"
 #include "sop/gen/stt.h"
 #include "sop/gen/synthetic.h"
 #include "sop/gen/workload_gen.h"
+#include "sop/io/csv.h"
+#include "sop/stream/source.h"
 
 namespace sop {
 namespace bench {
+
+/// When the SOP_BENCH_DATA environment variable names a CSV file, every
+/// bench stream factory reads (a prefix of) it instead of generating
+/// points, so the figure harness can be pointed at a real trace. The load
+/// is fail-fast; a missing/malformed/empty file aborts the bench with a
+/// nonzero exit instead of silently benchmarking an empty stream.
+inline std::unique_ptr<StreamSource> MaybeFileStream(int64_t n) {
+  const char* path = std::getenv("SOP_BENCH_DATA");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  std::vector<Point> points;
+  std::string error;
+  if (!io::LoadPointsCsv(path, &points, &error)) {
+    std::fprintf(stderr, "SOP_BENCH_DATA: %s\n", error.c_str());
+    std::exit(1);
+  }
+  if (points.empty()) {
+    std::fprintf(stderr, "SOP_BENCH_DATA: %s holds no points\n", path);
+    std::exit(1);
+  }
+  if (n > 0 && static_cast<int64_t>(points.size()) > n) {
+    points.resize(static_cast<size_t>(n));
+  }
+  return std::make_unique<VectorSource>(std::move(points));
+}
 
 /// Synthetic stream factory (paper Sec. 6.2 experiments). The generator
 /// seeds are fixed so every detector and every bench run sees the same
 /// bytes.
 inline StreamFactory SyntheticStream(int64_t n) {
   return [n]() -> std::unique_ptr<StreamSource> {
+    if (auto file = MaybeFileStream(n)) return file;
     gen::SyntheticOptions options;
     options.seed = 20160626;  // SIGMOD'16 opening day
     return std::make_unique<gen::SyntheticSource>(n, options);
@@ -29,6 +60,7 @@ inline StreamFactory SyntheticStream(int64_t n) {
 /// trade timestamps are irrelevant to windowing.
 inline StreamFactory SttStream(int64_t n) {
   return [n]() -> std::unique_ptr<StreamSource> {
+    if (auto file = MaybeFileStream(n)) return file;
     gen::SttOptions options;
     options.seed = 19980427;  // STT trace vintage
     return std::make_unique<gen::SttSource>(n, options);

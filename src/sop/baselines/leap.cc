@@ -25,6 +25,11 @@ LeapDetector::LeapDetector(const Workload& workload)
 
 std::vector<QueryResult> LeapDetector::Advance(std::vector<Point> batch,
                                                int64_t boundary) {
+  if (!received_any_ && !batch.empty()) {
+    // Streams resumed from a checkpoint replay start mid-sequence.
+    buffer_.ResetTo(batch.front().seq);
+    received_any_ = true;
+  }
   const Seq first_new_seq = buffer_.next_seq();
   for (Point& p : batch) buffer_.Append(std::move(p));
   buffer_.ExpireBefore(WindowStart(boundary, win_max_));

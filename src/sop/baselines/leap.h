@@ -74,6 +74,7 @@ class LeapDetector : public OutlierDetector {
   Workload workload_;
   StreamBuffer buffer_;
   int64_t win_max_ = 0;
+  bool received_any_ = false;  // buffer rebased to the first batch's seq
   std::vector<QueryState> states_;
   Stats stats_;
   Stats obs_reported_;  // stats_ values already published to obs counters

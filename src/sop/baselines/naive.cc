@@ -21,6 +21,11 @@ NaiveDetector::NaiveDetector(const Workload& workload)
 
 std::vector<QueryResult> NaiveDetector::Advance(std::vector<Point> batch,
                                                 int64_t boundary) {
+  if (!received_any_ && !batch.empty()) {
+    // Streams resumed from a checkpoint replay start mid-sequence.
+    buffer_.ResetTo(batch.front().seq);
+    received_any_ = true;
+  }
   for (Point& p : batch) buffer_.Append(std::move(p));
   buffer_.ExpireBefore(WindowStart(boundary, win_max_));
 

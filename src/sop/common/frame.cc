@@ -1,0 +1,97 @@
+#include "sop/common/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace sop {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x53'4f'50'46;  // "SOPF"
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+// Reflected CRC-32 lookup table, built once at first use.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+bool FrameError(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string("checkpoint frame: ") + what;
+  return false;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string WrapFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  AppendU32(&out, kFrameMagic);
+  AppendU32(&out, kFrameVersion);
+  AppendU64(&out, static_cast<uint64_t>(payload.size()));
+  AppendU32(&out, Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+bool UnwrapFrame(std::string_view framed, std::string_view* payload,
+                 std::string* error) {
+  if (framed.size() < kHeaderBytes) {
+    return FrameError(error, "truncated header");
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  std::memcpy(&magic, framed.data(), sizeof(magic));
+  std::memcpy(&version, framed.data() + 4, sizeof(version));
+  std::memcpy(&length, framed.data() + 8, sizeof(length));
+  std::memcpy(&crc, framed.data() + 16, sizeof(crc));
+  if (magic != kFrameMagic) return FrameError(error, "bad magic");
+  if (version != kFrameVersion) {
+    return FrameError(error, "unsupported frame version");
+  }
+  if (framed.size() - kHeaderBytes < length) {
+    return FrameError(error, "truncated payload");
+  }
+  if (framed.size() - kHeaderBytes > length) {
+    return FrameError(error, "trailing bytes after payload");
+  }
+  const std::string_view body = framed.substr(kHeaderBytes, length);
+  if (Crc32(body) != crc) return FrameError(error, "payload CRC mismatch");
+  *payload = body;
+  return true;
+}
+
+}  // namespace sop

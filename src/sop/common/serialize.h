@@ -27,6 +27,11 @@ class BinaryWriter {
     const uint8_t b = v ? 1 : 0;
     Append(&b, sizeof(b));
   }
+  /// Length-prefixed byte string (u64 length + raw bytes).
+  void WriteBytes(std::string_view v) {
+    WriteU64(v.size());
+    Append(v.data(), v.size());
+  }
 
   const std::string& bytes() const { return bytes_; }
   std::string TakeBytes() { return std::move(bytes_); }
@@ -53,6 +58,14 @@ class BinaryReader {
     uint8_t b = 0;
     if (!Consume(&b, sizeof(b)) || b > 1) return Fail();
     *v = b != 0;
+    return true;
+  }
+  /// Length-prefixed byte string (inverse of BinaryWriter::WriteBytes).
+  bool ReadBytes(std::string* v) {
+    uint64_t n = 0;
+    if (!ReadU64(&n) || bytes_.size() - pos_ < n) return Fail();
+    v->assign(bytes_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return true;
   }
 

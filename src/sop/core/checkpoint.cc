@@ -4,7 +4,14 @@
 // window's points, every non-safe point's skyband and every point's
 // safety flag — is exactly what would otherwise take a full window of
 // replay to rebuild.
+//
+// Wire format: a common/frame.h frame (magic, frame version, length,
+// CRC-32) around a BinaryWriter payload that itself opens with a detector
+// magic, a payload format version and the workload fingerprint. The frame
+// rejects every truncation/corruption; the payload header rejects
+// cross-version and cross-workload restores.
 
+#include "sop/common/frame.h"
 #include "sop/common/serialize.h"
 #include "sop/core/sop_detector.h"
 
@@ -13,7 +20,13 @@ namespace sop {
 namespace {
 
 constexpr uint32_t kMagic = 0x53'4f'50'43;  // "SOPC"
-constexpr uint32_t kFormatVersion = 1;
+// v2: payload framed (CRC + length) by common/frame.h.
+constexpr uint32_t kFormatVersion = 2;
+
+bool LoadError(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string("sop checkpoint: ") + what;
+  return false;
+}
 
 }  // namespace
 
@@ -53,28 +66,36 @@ std::string SopDetector::SaveState() const {
   w.WriteI64(stats_.candidates_examined);
   w.WriteI64(stats_.early_terminations);
   w.WriteI64(stats_.safe_points_discovered);
-  return w.TakeBytes();
+  return WrapFrame(w.TakeBytes());
 }
 
-bool SopDetector::LoadState(std::string_view bytes) {
+bool SopDetector::LoadState(std::string_view bytes, std::string* error) {
   SOP_CHECK_MSG(buffer_.empty() && last_boundary_ == INT64_MIN,
                 "LoadState requires a freshly constructed detector");
-  BinaryReader r(bytes);
+  std::string_view payload;
+  if (!UnwrapFrame(bytes, &payload, error)) return false;
+  BinaryReader r(payload);
   uint32_t magic = 0;
   uint32_t version = 0;
   uint64_t fingerprint = 0;
-  if (!r.ReadU32(&magic) || magic != kMagic) return false;
-  if (!r.ReadU32(&version) || version != kFormatVersion) return false;
+  if (!r.ReadU32(&magic) || magic != kMagic) {
+    return LoadError(error, "bad payload magic");
+  }
+  if (!r.ReadU32(&version) || version != kFormatVersion) {
+    return LoadError(error, "unsupported payload format version");
+  }
   if (!r.ReadU64(&fingerprint) ||
       fingerprint != plan_.workload().Fingerprint()) {
-    return false;
+    return LoadError(error, "workload fingerprint mismatch");
   }
-  if (!r.ReadI64(&last_boundary_)) return false;
+  if (!r.ReadI64(&last_boundary_)) {
+    return LoadError(error, "truncated payload");
+  }
 
   int64_t first_seq = 0;
   uint64_t count = 0;
   if (!r.ReadI64(&first_seq) || !r.ReadU64(&count) || first_seq < 0) {
-    return false;
+    return LoadError(error, "bad window header");
   }
   buffer_.ResetTo(first_seq);
   received_any_ = true;
@@ -82,10 +103,12 @@ bool SopDetector::LoadState(std::string_view bytes) {
     Point p;
     p.seq = first_seq + static_cast<Seq>(i);
     uint32_t dims = 0;
-    if (!r.ReadI64(&p.time) || !r.ReadU32(&dims)) return false;
+    if (!r.ReadI64(&p.time) || !r.ReadU32(&dims)) {
+      return LoadError(error, "truncated point");
+    }
     p.values.resize(dims);
     for (double& v : p.values) {
-      if (!r.ReadDouble(&v)) return false;
+      if (!r.ReadDouble(&v)) return LoadError(error, "truncated point");
     }
     buffer_.Append(std::move(p));
   }
@@ -95,17 +118,17 @@ bool SopDetector::LoadState(std::string_view bytes) {
     uint64_t entries = 0;
     if (!r.ReadBool(&st.evaluated) || !r.ReadBool(&st.safe) ||
         !r.ReadU64(&entries)) {
-      return false;
+      return LoadError(error, "truncated evidence");
     }
     for (uint64_t e = 0; e < entries; ++e) {
       SkybandEntry entry;
       uint32_t layer = 0;
       if (!r.ReadI64(&entry.seq) || !r.ReadI64(&entry.key) ||
           !r.ReadU32(&layer)) {
-        return false;
+        return LoadError(error, "truncated skyband entry");
       }
       if (layer < 1 || static_cast<int>(layer) > plan_.num_layers()) {
-        return false;
+        return LoadError(error, "skyband layer out of range");
       }
       entry.layer = static_cast<int32_t>(layer);
       st.skyband.Append(entry);
@@ -118,9 +141,9 @@ bool SopDetector::LoadState(std::string_view bytes) {
       !r.ReadI64(&stats_.candidates_examined) ||
       !r.ReadI64(&stats_.early_terminations) ||
       !r.ReadI64(&stats_.safe_points_discovered)) {
-    return false;
+    return LoadError(error, "truncated counters");
   }
-  if (!r.AtEnd()) return false;
+  if (!r.AtEnd()) return LoadError(error, "trailing bytes in payload");
 
   // The grid is derived state: rebuild it from the restored window rather
   // than serializing it (checkpoints stay index-agnostic).

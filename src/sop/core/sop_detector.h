@@ -73,17 +73,20 @@ class SopDetector : public OutlierDetector {
   const Stats& stats() const { return stats_; }
 
   /// Serializes the detector's full streaming state (alive points,
-  /// skybands, safety flags, counters) into a checkpoint blob. The
-  /// workload itself is not stored; restore requires an identically
-  /// configured detector (guarded by a workload fingerprint).
-  std::string SaveState() const;
+  /// skybands, safety flags, counters) into a framed, CRC-checksummed
+  /// checkpoint blob (common/frame.h). The workload itself is not stored;
+  /// restore requires an identically configured detector (guarded by a
+  /// workload fingerprint).
+  bool SupportsNativeState() const override { return true; }
+  std::string SaveState() const override;
 
   /// Restores a checkpoint into a freshly constructed detector (no batches
   /// advanced yet). Returns false — leaving the detector unusable — when
-  /// the blob is malformed, from a different format version, or from a
-  /// different workload. Processing resumes at the next boundary after the
-  /// checkpointed one.
-  bool LoadState(std::string_view bytes);
+  /// the blob is corrupted or truncated (CRC/length mismatch), from a
+  /// different format version, or from a different workload; `*error` (if
+  /// non-null) says which. Processing resumes at the next boundary after
+  /// the checkpointed one.
+  bool LoadState(std::string_view bytes, std::string* error = nullptr) override;
 
   /// Test/debug accessors.
   bool IsAliveForTesting(Seq seq) const { return buffer_.Contains(seq); }

@@ -11,9 +11,22 @@
 // the run so independent partitions advance concurrently (DESIGN.md
 // Sec. 10).
 //
+// Resilience (DESIGN.md Sec. 12): the engine is also where failure is
+// handled. Transient source/sink failures (surfaced through the armed
+// FaultInjector, common/fault.h) are retried with bounded exponential
+// backoff; exhausted retries are fatal. With checkpointing configured the
+// engine periodically writes a crash-consistent RunCheckpoint
+// (detector/run_checkpoint.h) and can resume an interrupted run from one,
+// producing emissions identical to an uninterrupted run. With an overload
+// queue configured the run is pipelined — the calling thread ingests while
+// a worker thread detects — and a full queue either blocks ingest
+// (lossless) or sheds the oldest queued batch (bounded latency; shed
+// batches are counted and the emissions whose windows overlap shed data
+// are flagged `degraded`).
+//
 // An engine is reusable across runs and detectors; the pool is spawned
 // once at construction. Not thread-safe: one engine drives one run at a
-// time.
+// time. In pipelined mode the sink runs on the engine's worker thread.
 //
 // Contract: this is the single run entry point. Every way of driving a
 // detector over a stream — the RunStream convenience wrappers
@@ -21,20 +34,27 @@
 // ExecutionEngine::Run, so window semantics, timing methodology, and
 // observability instrumentation are defined in exactly one place. When
 // observability is enabled (obs/metrics.h), each run additionally records
-// engine/* counters, the engine/batch_ms histogram, and per-query
-// query/<i>/{emissions,outliers} counters into the global registry.
+// engine/* counters, the engine/batch_ms histogram, per-query
+// query/<i>/{emissions,outliers} counters, and the resilience/* counters
+// into the global registry. A serial run with default options, no armed
+// injector and checkpointing off behaves bit-identically to the
+// pre-resilience engine.
 
 #ifndef SOP_DETECTOR_ENGINE_H_
 #define SOP_DETECTOR_ENGINE_H_
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sop/common/thread_pool.h"
 #include "sop/detector/detector.h"
 #include "sop/detector/metrics.h"
+#include "sop/detector/run_checkpoint.h"
 #include "sop/obs/metrics.h"
 #include "sop/query/workload.h"
 #include "sop/stream/source.h"
@@ -42,7 +62,40 @@
 namespace sop {
 
 /// Callback receiving every QueryResult as it is produced. May be null.
+/// In pipelined (overload-queue) mode it is invoked from the engine's
+/// worker thread.
 using ResultSink = std::function<void(const QueryResult&)>;
+
+/// Bounded exponential backoff for transient source/sink failures.
+struct RetryOptions {
+  /// Attempts per operation including the first; exhausting them is fatal
+  /// (SOP_CHECK) — a persistent failure is not a transient one.
+  int max_attempts = 8;
+  int backoff_initial_us = 50;
+  int backoff_max_us = 5000;
+};
+
+/// Periodic crash-consistent checkpointing of the run.
+struct CheckpointOptions {
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string path;
+  /// Write cadence in advanced batches (>= 1) when `path` is set.
+  int64_t every_batches = 64;
+};
+
+/// What to do when the overload queue is full.
+enum class OverloadPolicy {
+  kBlock,       // backpressure: ingest waits (lossless)
+  kDropOldest,  // shed the oldest queued batch (bounded latency, lossy)
+};
+
+/// Pipelined execution with a bounded batch queue between ingest and
+/// detection. Disabled (synchronous single-threaded loop) by default.
+struct OverloadOptions {
+  /// Queue capacity in batches; 0 keeps the engine synchronous.
+  size_t max_queue_batches = 0;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+};
 
 /// Execution knobs, defaulting to the serial seed behaviour.
 struct ExecOptions {
@@ -50,6 +103,9 @@ struct ExecOptions {
   /// on the calling thread (bit-identical to the pre-engine driver); 0
   /// means hardware concurrency.
   int num_threads = 1;
+  RetryOptions retry;
+  CheckpointOptions checkpoint;
+  OverloadOptions overload;
 };
 
 /// Drives detectors over streams under the normative window semantics.
@@ -81,18 +137,49 @@ class ExecutionEngine {
   RunMetrics Run(const Workload& workload, std::vector<Point> points,
                  OutlierDetector* detector, const ResultSink& sink = {});
 
+  /// Resumes an interrupted run from `cp` (see LoadRunCheckpoint).
+  /// `source` must replay the original stream from its beginning (the
+  /// engine skips the records the checkpoint already advanced) and
+  /// `detector` must be freshly constructed for the same workload. On a
+  /// checkpoint that does not match (fingerprint/detector/window/span) or
+  /// whose detector state cannot be restored, returns false with a
+  /// diagnostic in `*error` and runs nothing. On success the emissions of
+  /// interrupted-run-then-resume equal those of one uninterrupted run.
+  bool RunResumed(const Workload& workload, StreamSource* source,
+                  OutlierDetector* detector, const RunCheckpoint& cp,
+                  RunMetrics* metrics, std::string* error,
+                  const ResultSink& sink = {});
+
   /// The engine's pool; null when configured serial (num_threads == 1).
   ThreadPool* pool() { return pool_.get(); }
 
  private:
-  // Times one Advance() call and records it into the accumulator.
-  void AdvanceBatch(OutlierDetector* detector, std::vector<Point> batch,
-                    int64_t boundary, MetricsAccumulator* acc,
-                    const ResultSink& sink);
-  RunMetrics RunCountBased(int64_t batch_span, StreamSource* source,
-                           OutlierDetector* detector, const ResultSink& sink);
-  RunMetrics RunTimeBased(int64_t batch_span, StreamSource* source,
-                          OutlierDetector* detector, const ResultSink& sink);
+  struct RunContext;
+  struct Pending;
+  class BatchQueue;
+
+  // Reads the next point, retrying injected transient read failures.
+  bool SourceNext(StreamSource* source, Point* out);
+  // Delivers one result, retrying injected transient emit failures.
+  void EmitResult(const RunContext& ctx, const ResultSink& sink,
+                  const QueryResult& r);
+  // Times one Advance() call, records metrics, flags degraded emissions,
+  // maintains replay history, and writes periodic checkpoints.
+  void AdvanceBatch(RunContext* ctx, std::vector<Point> batch,
+                    int64_t boundary, const ResultSink& sink);
+  void WriteCheckpoint(RunContext* ctx);
+  bool ApplyResume(RunContext* ctx, const RunCheckpoint& cp,
+                   StreamSource* source, std::string* error);
+  void ProcessPending(RunContext* ctx, Pending pending,
+                      const ResultSink& sink);
+  RunMetrics RunLoop(RunContext* ctx, StreamSource* source,
+                     const ResultSink& sink);
+  RunMetrics RunCountBased(RunContext* ctx, StreamSource* source,
+                           const ResultSink& sink);
+  RunMetrics RunTimeBased(RunContext* ctx, StreamSource* source,
+                          const ResultSink& sink);
+  RunMetrics RunPipelined(RunContext* ctx, StreamSource* source,
+                          const ResultSink& sink);
 
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial

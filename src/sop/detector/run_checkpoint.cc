@@ -1,0 +1,143 @@
+#include "sop/detector/run_checkpoint.h"
+
+#include "sop/common/fault.h"
+#include "sop/common/frame.h"
+#include "sop/common/serialize.h"
+#include "sop/io/file_util.h"
+#include "sop/obs/trace.h"
+
+namespace sop {
+
+namespace {
+
+constexpr uint32_t kRunMagic = 0x53'4f'50'52;  // "SOPR"
+constexpr uint32_t kRunFormatVersion = 1;
+
+bool RunError(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string("run checkpoint: ") + what;
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeRunCheckpoint(const RunCheckpoint& cp) {
+  BinaryWriter w;
+  w.WriteU32(kRunMagic);
+  w.WriteU32(kRunFormatVersion);
+  w.WriteU64(cp.workload_fingerprint);
+  w.WriteBytes(cp.detector_name);
+  w.WriteU32(cp.window_type == WindowType::kCount ? 0 : 1);
+  w.WriteI64(cp.batch_span);
+  w.WriteI64(cp.points_advanced);
+  w.WriteI64(cp.batches_advanced);
+  w.WriteI64(cp.last_boundary);
+  w.WriteBool(cp.have_boundary);
+  w.WriteI64(cp.next_boundary);
+
+  w.WriteU64(cp.history.size());
+  for (const RunCheckpoint::Batch& b : cp.history) {
+    w.WriteI64(b.boundary);
+    w.WriteU64(b.points.size());
+    for (const Point& p : b.points) {
+      w.WriteI64(p.seq);
+      w.WriteI64(p.time);
+      w.WriteU32(static_cast<uint32_t>(p.values.size()));
+      for (const double v : p.values) w.WriteDouble(v);
+    }
+  }
+  w.WriteBytes(cp.native_state);
+  return WrapFrame(w.TakeBytes());
+}
+
+bool DeserializeRunCheckpoint(std::string_view bytes, RunCheckpoint* out,
+                              std::string* error) {
+  std::string_view payload;
+  if (!UnwrapFrame(bytes, &payload, error)) return false;
+  BinaryReader r(payload);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!r.ReadU32(&magic) || magic != kRunMagic) {
+    return RunError(error, "bad payload magic");
+  }
+  if (!r.ReadU32(&version) || version != kRunFormatVersion) {
+    return RunError(error, "unsupported payload format version");
+  }
+  RunCheckpoint cp;
+  uint32_t window_type = 0;
+  if (!r.ReadU64(&cp.workload_fingerprint) ||
+      !r.ReadBytes(&cp.detector_name) || !r.ReadU32(&window_type) ||
+      window_type > 1 || !r.ReadI64(&cp.batch_span) ||
+      !r.ReadI64(&cp.points_advanced) || !r.ReadI64(&cp.batches_advanced) ||
+      !r.ReadI64(&cp.last_boundary) || !r.ReadBool(&cp.have_boundary) ||
+      !r.ReadI64(&cp.next_boundary)) {
+    return RunError(error, "truncated header");
+  }
+  cp.window_type = window_type == 0 ? WindowType::kCount : WindowType::kTime;
+  if (cp.batch_span <= 0 || cp.points_advanced < 0 ||
+      cp.batches_advanced < 0) {
+    return RunError(error, "implausible stream position");
+  }
+
+  uint64_t num_batches = 0;
+  if (!r.ReadU64(&num_batches)) return RunError(error, "truncated history");
+  cp.history.reserve(static_cast<size_t>(num_batches));
+  for (uint64_t i = 0; i < num_batches; ++i) {
+    RunCheckpoint::Batch b;
+    uint64_t num_points = 0;
+    if (!r.ReadI64(&b.boundary) || !r.ReadU64(&num_points)) {
+      return RunError(error, "truncated history batch");
+    }
+    b.points.resize(static_cast<size_t>(num_points));
+    for (Point& p : b.points) {
+      uint32_t dims = 0;
+      if (!r.ReadI64(&p.seq) || !r.ReadI64(&p.time) || !r.ReadU32(&dims)) {
+        return RunError(error, "truncated history point");
+      }
+      p.values.resize(dims);
+      for (double& v : p.values) {
+        if (!r.ReadDouble(&v)) {
+          return RunError(error, "truncated history point");
+        }
+      }
+    }
+    cp.history.push_back(std::move(b));
+  }
+  if (!r.ReadBytes(&cp.native_state)) {
+    return RunError(error, "truncated native state");
+  }
+  if (!r.AtEnd()) return RunError(error, "trailing bytes in payload");
+  *out = std::move(cp);
+  return true;
+}
+
+bool SaveRunCheckpoint(const std::string& path, const RunCheckpoint& cp,
+                       std::string* error) {
+  FaultInjector* injector = FaultInjector::Armed();
+  if (injector != nullptr &&
+      injector->ShouldFail(FaultSite::kCheckpointWrite)) {
+    return RunError(error, "injected write failure");
+  }
+  std::string bytes = SerializeRunCheckpoint(cp);
+  if (injector != nullptr &&
+      injector->ShouldFail(FaultSite::kCheckpointBytes)) {
+    injector->CorruptBytes(&bytes);
+  }
+  if (!io::WriteFileAtomic(path, bytes, error)) return false;
+  SOP_COUNTER_ADD("resilience/checkpoint_saves", 1);
+  return true;
+}
+
+bool LoadRunCheckpoint(const std::string& path, RunCheckpoint* out,
+                       std::string* error) {
+  FaultInjector* injector = FaultInjector::Armed();
+  if (injector != nullptr &&
+      injector->ShouldFail(FaultSite::kCheckpointRead)) {
+    return RunError(error, "injected read failure");
+  }
+  std::string bytes;
+  if (!io::ReadFileToString(path, &bytes, error)) return false;
+  if (!DeserializeRunCheckpoint(bytes, out, error)) return false;
+  return true;
+}
+
+}  // namespace sop

@@ -1,0 +1,93 @@
+// RunCheckpoint: the engine-level crash-recovery unit.
+//
+// A run checkpoint captures everything ExecutionEngine needs to resume a
+// detector run mid-stream and produce emissions identical to a run that
+// was never interrupted:
+//
+//   * identity guards — workload fingerprint, detector name, window type
+//     and batch span; restore refuses a checkpoint taken under different
+//     semantics,
+//   * stream position — how many points and batches have been advanced and
+//     the boundary bookkeeping needed to continue the batch schedule,
+//   * detector state — either the detector's own native blob (exact, with
+//     counters; SopDetector) or the retained tail of batches within the
+//     largest window's reach, replayed through a fresh detector on restore
+//     (emission-equivalent for every detector, since each algorithm's
+//     answers are a deterministic function of its window contents).
+//
+// On disk a checkpoint is one common/frame.h frame (magic + version +
+// length + CRC-32) written atomically via temp-file + rename
+// (io/file_util.h), so a crashed writer can never leave a half-written
+// checkpoint where a reader will trust it; LoadRunCheckpoint rejects
+// truncated, corrupted, or cross-version files with a diagnostic.
+//
+// Save/Load consult the armed FaultInjector (common/fault.h) at the
+// checkpoint-write / checkpoint-read / checkpoint-bytes sites, which is
+// how the corruption drills exercise these paths end to end.
+
+#ifndef SOP_DETECTOR_RUN_CHECKPOINT_H_
+#define SOP_DETECTOR_RUN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sop/common/point.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+
+/// Snapshot of one engine run in progress. See file comment.
+struct RunCheckpoint {
+  /// Identity guards.
+  uint64_t workload_fingerprint = 0;
+  std::string detector_name;
+  WindowType window_type = WindowType::kCount;
+  int64_t batch_span = 0;
+
+  /// Stream position: points contained in advanced batches (the resumed
+  /// run skips this many source records) and the boundary schedule.
+  int64_t points_advanced = 0;
+  int64_t batches_advanced = 0;
+  int64_t last_boundary = 0;
+  bool have_boundary = false;   // time-based: first boundary established
+  int64_t next_boundary = 0;    // time-based: next boundary to advance at
+
+  /// Replay tail for detectors without native state: the advanced batches
+  /// whose points are still within the largest window's reach.
+  struct Batch {
+    int64_t boundary = 0;
+    std::vector<Point> points;
+  };
+  std::vector<Batch> history;
+
+  /// Native detector blob (itself framed by the detector); empty when the
+  /// detector has no native state support and `history` must be replayed.
+  std::string native_state;
+};
+
+/// Serializes `cp` into one framed, checksummed byte string.
+std::string SerializeRunCheckpoint(const RunCheckpoint& cp);
+
+/// Parses a framed checkpoint. Returns false with a diagnostic in `*error`
+/// on any truncation, corruption, or version mismatch.
+bool DeserializeRunCheckpoint(std::string_view bytes, RunCheckpoint* out,
+                              std::string* error);
+
+/// Atomically writes `cp` to `path` (temp + rename). Consults the armed
+/// FaultInjector: an injected checkpoint-write failure returns false (the
+/// previous checkpoint at `path` survives); injected checkpoint-bytes
+/// corruption flips a bit in the written frame (reads must then reject it).
+bool SaveRunCheckpoint(const std::string& path, const RunCheckpoint& cp,
+                       std::string* error);
+
+/// Reads and validates the checkpoint at `path`. Returns false with a
+/// diagnostic on missing/unreadable files, injected read failures, and
+/// every form of corruption the frame detects.
+bool LoadRunCheckpoint(const std::string& path, RunCheckpoint* out,
+                       std::string* error);
+
+}  // namespace sop
+
+#endif  // SOP_DETECTOR_RUN_CHECKPOINT_H_

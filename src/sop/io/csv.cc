@@ -1,11 +1,15 @@
 #include "sop/io/csv.h"
 
 #include <cerrno>
+#include <cfloat>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "sop/obs/trace.h"
 
 namespace sop {
 namespace io {
@@ -19,58 +23,139 @@ bool FormatError(std::string* error, size_t line, const char* what) {
   return false;
 }
 
+// Why a line cannot be accepted as-is. Structural defects have no repair;
+// value/time defects do.
+enum class Defect {
+  kNone,
+  kBadSyntax,      // unparseable timestamp/attribute, missing separator
+  kNoAttributes,   // timestamp only
+  kDimMismatch,    // attribute count differs from the established arity
+  kNonFinite,      // NaN/Inf/overflowing attribute value
+  kTimeRegression  // timestamp below the previous accepted record's
+};
+
+const char* DefectMessage(Defect d) {
+  switch (d) {
+    case Defect::kBadSyntax:
+      return "malformed record";
+    case Defect::kNoAttributes:
+      return "point has no attributes";
+    case Defect::kDimMismatch:
+      return "inconsistent attribute count";
+    case Defect::kNonFinite:
+      return "non-finite attribute value";
+    case Defect::kTimeRegression:
+      return "timestamps must be non-decreasing";
+    case Defect::kNone:
+      break;
+  }
+  return "ok";
+}
+
+// Parses one line into `*p`, reporting the first defect found. Value/time
+// defects still fill `*p` completely so kClampRepair can fix them;
+// structural defects leave `*p` partially filled.
+Defect ParseLine(const std::string& line, size_t expected_dims,
+                 int64_t last_time, bool have_last_time, Point* p) {
+  const char* cursor = line.c_str();
+  char* end = nullptr;
+  errno = 0;
+  p->time = std::strtoll(cursor, &end, 10);
+  if (end == cursor || errno != 0) return Defect::kBadSyntax;
+  cursor = end;
+  bool non_finite = false;
+  while (*cursor != '\0') {
+    if (*cursor != ',') return Defect::kBadSyntax;
+    ++cursor;
+    errno = 0;
+    double v = std::strtod(cursor, &end);
+    if (end == cursor) return Defect::kBadSyntax;
+    // strtod's two escape hatches from finite arithmetic: literal
+    // nan/inf spellings (no errno) and overflow to ±HUGE_VAL (ERANGE).
+    // Underflow to a denormal/zero also sets ERANGE but the value is
+    // usable, so test the value, not errno.
+    if (!std::isfinite(v)) non_finite = true;
+    p->values.push_back(v);
+    cursor = end;
+  }
+  if (p->values.empty()) return Defect::kNoAttributes;
+  if (expected_dims != 0 && p->values.size() != expected_dims) {
+    return Defect::kDimMismatch;
+  }
+  if (non_finite) return Defect::kNonFinite;
+  if (have_last_time && p->time < last_time) return Defect::kTimeRegression;
+  return Defect::kNone;
+}
+
 }  // namespace
 
-bool ParsePointsCsv(const std::string& text, std::vector<Point>* out,
+bool ParsePointsCsv(const std::string& text, const CsvReadOptions& options,
+                    std::vector<Point>* out, CsvReadStats* stats,
+                    std::vector<std::string>* quarantined_lines,
                     std::string* error) {
   out->clear();
+  CsvReadStats local_stats;
+  CsvReadStats& st = stats != nullptr ? *stats : local_stats;
+  st = CsvReadStats{};
   std::istringstream stream(text);
   std::string line;
   size_t line_no = 0;
   size_t expected_dims = 0;
+
+  auto quarantine = [&](const std::string& raw) {
+    ++st.quarantined;
+    SOP_COUNTER_ADD("resilience/quarantined", 1);
+    if (quarantined_lines != nullptr) quarantined_lines->push_back(raw);
+  };
+
   while (std::getline(stream, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     Point p;
-    const char* cursor = line.c_str();
-    char* end = nullptr;
-    errno = 0;
-    p.time = std::strtoll(cursor, &end, 10);
-    if (end == cursor || errno != 0) {
-      return FormatError(error, line_no, "bad timestamp");
-    }
-    cursor = end;
-    while (*cursor != '\0') {
-      if (*cursor != ',') {
-        return FormatError(error, line_no, "expected ','");
+    const bool have_last_time = !out->empty();
+    const int64_t last_time = have_last_time ? out->back().time : 0;
+    Defect defect =
+        ParseLine(line, expected_dims, last_time, have_last_time, &p);
+    if (defect != Defect::kNone) {
+      if (options.policy == RecordPolicy::kFailFast) {
+        return FormatError(error, line_no, DefectMessage(defect));
       }
-      ++cursor;
-      errno = 0;
-      const double v = std::strtod(cursor, &end);
-      if (end == cursor || errno != 0) {
-        return FormatError(error, line_no, "bad attribute value");
+      const bool repairable = defect == Defect::kNonFinite ||
+                              defect == Defect::kTimeRegression;
+      if (options.policy == RecordPolicy::kSkipQuarantine || !repairable) {
+        quarantine(line);
+        continue;
       }
-      p.values.push_back(v);
-      cursor = end;
+      // kClampRepair: non-finite values clamp to the nearest finite value
+      // (NaN to 0), timestamp regressions clamp to the previous timestamp.
+      if (defect == Defect::kNonFinite) {
+        for (double& v : p.values) {
+          if (std::isnan(v)) {
+            v = 0.0;
+          } else if (std::isinf(v)) {
+            v = v > 0 ? DBL_MAX : -DBL_MAX;
+          }
+        }
+      }
+      if (have_last_time && p.time < last_time) p.time = last_time;
+      ++st.repaired;
+      SOP_COUNTER_ADD("resilience/repaired", 1);
     }
-    if (p.values.empty()) {
-      return FormatError(error, line_no, "point has no attributes");
-    }
-    if (expected_dims == 0) {
-      expected_dims = p.values.size();
-    } else if (p.values.size() != expected_dims) {
-      return FormatError(error, line_no, "inconsistent attribute count");
-    }
-    if (!out->empty() && p.time < out->back().time) {
-      return FormatError(error, line_no, "timestamps must be non-decreasing");
-    }
+    if (expected_dims == 0) expected_dims = p.values.size();
     p.seq = static_cast<Seq>(out->size());
+    ++st.accepted;
     out->push_back(std::move(p));
   }
   return true;
 }
 
-bool LoadPointsCsv(const std::string& path, std::vector<Point>* out,
+bool ParsePointsCsv(const std::string& text, std::vector<Point>* out,
+                    std::string* error) {
+  return ParsePointsCsv(text, CsvReadOptions{}, out, nullptr, nullptr, error);
+}
+
+bool LoadPointsCsv(const std::string& path, const CsvReadOptions& options,
+                   std::vector<Point>* out, CsvReadStats* stats,
                    std::string* error) {
   std::ifstream file(path);
   if (!file) {
@@ -79,7 +164,28 @@ bool LoadPointsCsv(const std::string& path, std::vector<Point>* out,
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ParsePointsCsv(buffer.str(), out, error);
+  std::vector<std::string> quarantined_lines;
+  std::vector<std::string>* quarantine_sink =
+      options.quarantine_path.empty() ? nullptr : &quarantined_lines;
+  if (!ParsePointsCsv(buffer.str(), options, out, stats, quarantine_sink,
+                      error)) {
+    return false;
+  }
+  if (quarantine_sink != nullptr && !quarantined_lines.empty()) {
+    std::ofstream sidecar(options.quarantine_path,
+                          std::ios::binary | std::ios::trunc);
+    for (const std::string& raw : quarantined_lines) sidecar << raw << '\n';
+    if (!sidecar.flush()) {
+      *error = "cannot write quarantine sidecar " + options.quarantine_path;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* out,
+                   std::string* error) {
+  return LoadPointsCsv(path, CsvReadOptions{}, out, nullptr, error);
 }
 
 std::string FormatPointsCsv(const std::vector<Point>& points) {

@@ -3,24 +3,66 @@
 // Format: one point per line, `time,v1,v2,...` with a fixed number of
 // attribute columns. Lines starting with '#' and blank lines are ignored.
 // No exceptions: loaders report problems through an error string.
+//
+// Ingest is policy-hardened (stream/record_policy.h): a malformed line —
+// unparseable, non-finite attribute value (NaN/Inf/overflow), wrong
+// attribute count, or out-of-order timestamp — is a load error under
+// kFailFast (the default, with the 1-based line number in the error),
+// dropped-and-counted under kSkipQuarantine (optionally spooled raw to a
+// sidecar file), or repaired where unambiguous under kClampRepair
+// (non-finite values clamped, timestamp regressions clamped to the
+// previous timestamp; structurally broken lines are still quarantined).
 
 #ifndef SOP_IO_CSV_H_
 #define SOP_IO_CSV_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sop/common/point.h"
+#include "sop/stream/record_policy.h"
 
 namespace sop {
 namespace io {
 
-/// Parses points from CSV text. Returns false and sets `*error` on the
-/// first malformed line (1-based line number included).
+/// Ingest configuration for ParsePointsCsv/LoadPointsCsv.
+struct CsvReadOptions {
+  RecordPolicy policy = RecordPolicy::kFailFast;
+  /// If non-empty, LoadPointsCsv writes every quarantined raw line to this
+  /// sidecar file (overwritten per load; one line per record).
+  std::string quarantine_path;
+};
+
+/// Per-load ingest accounting.
+struct CsvReadStats {
+  uint64_t accepted = 0;
+  uint64_t quarantined = 0;
+  uint64_t repaired = 0;
+};
+
+/// Parses points from CSV text under `options.policy`. Under kFailFast,
+/// returns false and sets `*error` on the first malformed line (1-based
+/// line number included); under the lenient policies, failure is only
+/// possible for empty output (every line quarantined still returns true).
+/// `stats` and `quarantined_lines` (raw text of quarantined lines) may be
+/// null.
+bool ParsePointsCsv(const std::string& text, const CsvReadOptions& options,
+                    std::vector<Point>* out, CsvReadStats* stats,
+                    std::vector<std::string>* quarantined_lines,
+                    std::string* error);
+
+/// Fail-fast convenience overload (the original API).
 bool ParsePointsCsv(const std::string& text, std::vector<Point>* out,
                     std::string* error);
 
-/// Loads points from a CSV file.
+/// Loads points from a CSV file under `options`, spooling quarantined
+/// lines to options.quarantine_path when set. `stats` may be null.
+bool LoadPointsCsv(const std::string& path, const CsvReadOptions& options,
+                   std::vector<Point>* out, CsvReadStats* stats,
+                   std::string* error);
+
+/// Fail-fast convenience overload (the original API).
 bool LoadPointsCsv(const std::string& path, std::vector<Point>* out,
                    std::string* error);
 

@@ -1,0 +1,55 @@
+#include "sop/io/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sop {
+namespace io {
+
+bool ReadFileToString(const std::string& path, std::string* out,
+                      std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file && !file.eof()) {
+    *error = "read from " + path + " failed";
+    return false;
+  }
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& bytes,
+                     std::string* error) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      *error = "cannot open " + temp + " for writing";
+      return false;
+    }
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!file.flush()) {
+      *error = "write to " + temp + " failed";
+      std::remove(temp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    *error = "rename " + temp + " -> " + path + " failed: " +
+             std::strerror(errno);
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace io
+}  // namespace sop

@@ -1,0 +1,32 @@
+// Whole-file byte I/O with crash-consistent writes.
+//
+// WriteFileAtomic provides the publish step checkpointing relies on: the
+// bytes land in a sibling temp file first and are renamed over the target
+// only after a successful flush, so a reader never observes a half-written
+// file — it sees either the previous complete checkpoint or the new one.
+// (rename(2) within one directory is atomic on POSIX; crash between write
+// and rename leaves at most a stray .tmp sibling.)
+
+#ifndef SOP_IO_FILE_UTIL_H_
+#define SOP_IO_FILE_UTIL_H_
+
+#include <string>
+
+namespace sop {
+namespace io {
+
+/// Reads the whole file at `path` into `*out` (binary). Returns false and
+/// sets `*error` when the file cannot be opened or read.
+bool ReadFileToString(const std::string& path, std::string* out,
+                      std::string* error);
+
+/// Writes `bytes` to `path` via a temp-file + rename publish. On failure
+/// (open, write, flush, or rename) returns false with `*error` set and
+/// leaves any previous file at `path` intact.
+bool WriteFileAtomic(const std::string& path, const std::string& bytes,
+                     std::string* error);
+
+}  // namespace io
+}  // namespace sop
+
+#endif  // SOP_IO_FILE_UTIL_H_

@@ -1,0 +1,107 @@
+#include "sop/stream/sanitize.h"
+
+#include <cfloat>
+#include <cmath>
+#include <cstdio>
+
+#include "sop/obs/trace.h"
+
+namespace sop {
+
+namespace {
+
+// What is wrong with a record, in decreasing severity: structural defects
+// have no repair, value/time defects do.
+enum class Defect {
+  kNone,
+  kDimMismatch,
+  kNonFinite,
+  kTimeRegression,
+};
+
+Defect Classify(const Point& p, bool have_first, size_t expected_dims,
+                int64_t last_time) {
+  if (p.values.empty() || (have_first && p.values.size() != expected_dims)) {
+    return Defect::kDimMismatch;
+  }
+  for (const double v : p.values) {
+    if (!std::isfinite(v)) return Defect::kNonFinite;
+  }
+  if (have_first && p.time < last_time) return Defect::kTimeRegression;
+  return Defect::kNone;
+}
+
+const char* DefectName(Defect d) {
+  switch (d) {
+    case Defect::kDimMismatch:
+      return "attribute count mismatch";
+    case Defect::kNonFinite:
+      return "non-finite attribute value";
+    case Defect::kTimeRegression:
+      return "out-of-order timestamp";
+    case Defect::kNone:
+      break;
+  }
+  return "ok";
+}
+
+}  // namespace
+
+bool SanitizingSource::Next(Point* out) {
+  if (failed_) return false;
+  Point p;
+  while (inner_->Next(&p)) {
+    const uint64_t index = record_index_++;
+    Defect defect = Classify(p, have_first_, expected_dims_, last_time_);
+    if (defect != Defect::kNone) {
+      switch (policy_) {
+        case RecordPolicy::kFailFast: {
+          char buf[96];
+          std::snprintf(buf, sizeof(buf), "record %llu: %s",
+                        static_cast<unsigned long long>(index),
+                        DefectName(defect));
+          error_ = buf;
+          failed_ = true;
+          return false;
+        }
+        case RecordPolicy::kSkipQuarantine:
+          ++stats_.quarantined;
+          SOP_COUNTER_ADD("resilience/quarantined", 1);
+          continue;
+        case RecordPolicy::kClampRepair: {
+          if (defect == Defect::kDimMismatch) {
+            ++stats_.quarantined;
+            SOP_COUNTER_ADD("resilience/quarantined", 1);
+            continue;
+          }
+          if (defect == Defect::kNonFinite) {
+            for (double& v : p.values) {
+              if (std::isnan(v)) {
+                v = 0.0;
+              } else if (std::isinf(v)) {
+                v = v > 0 ? DBL_MAX : -DBL_MAX;
+              }
+            }
+            // A repaired record can still be out of order.
+            defect = Classify(p, have_first_, expected_dims_, last_time_);
+          }
+          if (defect == Defect::kTimeRegression) p.time = last_time_;
+          ++stats_.repaired;
+          SOP_COUNTER_ADD("resilience/repaired", 1);
+          break;
+        }
+      }
+    }
+    if (!have_first_) {
+      have_first_ = true;
+      expected_dims_ = p.values.size();
+    }
+    last_time_ = p.time;
+    ++stats_.accepted;
+    *out = std::move(p);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sop

@@ -1,0 +1,65 @@
+// SanitizingSource: a RecordPolicy-enforcing wrapper around any stream
+// source.
+//
+// Generators and decoded network feeds can produce records the detectors
+// must never see: non-finite attribute values (distance arithmetic on NaN
+// silently poisons every skyband comparison), dimensionality changes
+// mid-stream, and timestamp regressions (the window calculus requires
+// non-decreasing keys). The CSV loader enforces these at parse time;
+// SanitizingSource enforces the same contract for every other source by
+// wrapping it.
+//
+// Under kSkipQuarantine, bad records are dropped and counted; under
+// kClampRepair, repairable defects (non-finite values, time regressions)
+// are fixed in place and the rest dropped; under kFailFast the stream ends
+// at the first bad record and `error()` describes it — pull-based sources
+// have no error channel, so callers opting into fail-fast must check
+// error() after the stream ends.
+
+#ifndef SOP_STREAM_SANITIZE_H_
+#define SOP_STREAM_SANITIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sop/common/point.h"
+#include "sop/stream/record_policy.h"
+#include "sop/stream/source.h"
+
+namespace sop {
+
+/// Policy-applying source wrapper. Not thread-safe; wraps a borrowed
+/// source that must outlive it.
+class SanitizingSource : public StreamSource {
+ public:
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t quarantined = 0;
+    uint64_t repaired = 0;
+  };
+
+  SanitizingSource(StreamSource* inner, RecordPolicy policy)
+      : inner_(inner), policy_(policy) {}
+
+  bool Next(Point* out) override;
+
+  const Stats& stats() const { return stats_; }
+
+  /// Non-empty iff the stream was terminated by kFailFast on a bad record.
+  const std::string& error() const { return error_; }
+
+ private:
+  StreamSource* inner_;
+  RecordPolicy policy_;
+  Stats stats_;
+  std::string error_;
+  bool failed_ = false;
+  bool have_first_ = false;
+  size_t expected_dims_ = 0;
+  int64_t last_time_ = 0;
+  uint64_t record_index_ = 0;  // 0-based index into the inner stream
+};
+
+}  // namespace sop
+
+#endif  // SOP_STREAM_SANITIZE_H_

@@ -1,11 +1,13 @@
 // Tests for CSV point IO and the workload spec parser.
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "gtest/gtest.h"
 #include "sop/io/csv.h"
 #include "sop/io/workload_parser.h"
+#include "sop/stream/record_policy.h"
 
 namespace sop {
 namespace {
@@ -34,6 +36,109 @@ TEST(CsvTest, RejectsMalformedInput) {
   EXPECT_NE(error.find("non-decreasing"), std::string::npos);
   EXPECT_FALSE(io::ParsePointsCsv("5\n", &points, &error));
   EXPECT_FALSE(io::ParsePointsCsv("5,1,x\n", &points, &error));
+}
+
+TEST(CsvTest, RejectsNonFiniteValuesWithLineNumbers) {
+  std::vector<Point> points;
+  std::string error;
+  EXPECT_FALSE(io::ParsePointsCsv("1,2.0\n2,nan\n", &points, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  EXPECT_FALSE(io::ParsePointsCsv("1,inf\n", &points, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_FALSE(io::ParsePointsCsv("1,-inf\n", &points, &error));
+  // Out-of-range literals overflow to infinity in strtod; they must be
+  // caught like any other non-finite value, not silently admitted.
+  EXPECT_FALSE(io::ParsePointsCsv("1,1.0\n2,1e999\n3,1.0\n", &points, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(CsvTest, SkipQuarantinePolicyDropsBadLinesAndCounts) {
+  io::CsvReadOptions options;
+  options.policy = RecordPolicy::kSkipQuarantine;
+  std::vector<Point> points;
+  io::CsvReadStats stats;
+  std::vector<std::string> quarantined;
+  std::string error;
+  const std::string text =
+      "1,1.0\n2,nan\nbroken line\n3,2.0,9.9\n2,3.0\n4,4.0\n";
+  ASSERT_TRUE(
+      io::ParsePointsCsv(text, options, &points, &stats, &quarantined, &error))
+      << error;
+  ASSERT_EQ(points.size(), 3u);  // times 1, 2, 4 survive
+  EXPECT_EQ(points[2].time, 4);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.quarantined, 3u);
+  EXPECT_EQ(stats.repaired, 0u);
+  ASSERT_EQ(quarantined.size(), 3u);
+  EXPECT_EQ(quarantined[0], "2,nan");
+  EXPECT_EQ(quarantined[1], "broken line");
+}
+
+TEST(CsvTest, ClampRepairPolicyFixesValuesAndTimestamps) {
+  io::CsvReadOptions options;
+  options.policy = RecordPolicy::kClampRepair;
+  std::vector<Point> points;
+  io::CsvReadStats stats;
+  std::string error;
+  const std::string text = "5,1.0\n6,nan\n2,3.0\nnot a point\n8,4.0\n";
+  ASSERT_TRUE(
+      io::ParsePointsCsv(text, options, &points, &stats, nullptr, &error))
+      << error;
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[1].values[0], 0.0);  // nan clamped
+  EXPECT_EQ(points[2].time, 6);         // regression clamped to predecessor
+  EXPECT_EQ(stats.repaired, 2u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  for (const Point& p : points) EXPECT_TRUE(std::isfinite(p.values[0]));
+}
+
+TEST(CsvTest, QuarantineSidecarSpoolsRawLines) {
+  const std::string data_path = ::testing::TempDir() + "/sop_dirty.csv";
+  const std::string sidecar_path = ::testing::TempDir() + "/sop_dirty.bad";
+  std::string error;
+  {
+    std::FILE* f = std::fopen(data_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1,1.5\n2,inf\ngarbage\n3,2.5\n", f);
+    std::fclose(f);
+  }
+  io::CsvReadOptions options;
+  options.policy = RecordPolicy::kSkipQuarantine;
+  options.quarantine_path = sidecar_path;
+  std::vector<Point> points;
+  io::CsvReadStats stats;
+  ASSERT_TRUE(io::LoadPointsCsv(data_path, options, &points, &stats, &error))
+      << error;
+  EXPECT_EQ(points.size(), 2u);
+  EXPECT_EQ(stats.quarantined, 2u);
+
+  std::FILE* f = std::fopen(sidecar_path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string sidecar;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) sidecar += buf;
+  std::fclose(f);
+  EXPECT_EQ(sidecar, "2,inf\ngarbage\n");
+  std::remove(data_path.c_str());
+  std::remove(sidecar_path.c_str());
+}
+
+TEST(CsvTest, LenientParseOfAllBadInputYieldsEmptyOutputAndCounts) {
+  // The parser itself stays lenient (true + empty output); refusing to run
+  // on an empty load is the callers' job (sop_cli and the bench harness
+  // exit nonzero).
+  io::CsvReadOptions options;
+  options.policy = RecordPolicy::kSkipQuarantine;
+  std::vector<Point> points;
+  io::CsvReadStats stats;
+  std::string error;
+  ASSERT_TRUE(io::ParsePointsCsv("nan,nan\nbad\n", options, &points, &stats,
+                                 nullptr, &error))
+      << error;
+  EXPECT_TRUE(points.empty());
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.quarantined, 2u);
 }
 
 TEST(CsvTest, RoundTrip) {

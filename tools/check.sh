@@ -1,18 +1,32 @@
 #!/usr/bin/env bash
 # check.sh: build the full tree under AddressSanitizer+UBSan and run the
-# test suite, then build and run it again with the observability layer
-# compiled out (-DSOP_NO_OBS) to keep the no-op macro expansions honest.
-# Catches the memory bugs the release build hides (the thread pool and the
-# grid scratch buffers in particular).
+# test suite, then run the resilience suites (fault injection, crash
+# recovery, engine pipelining) under ThreadSanitizer, then build and run
+# everything again with the observability layer compiled out
+# (-DSOP_NO_OBS) to keep the no-op macro expansions honest. Catches the
+# memory bugs the release build hides (the thread pool and the grid
+# scratch buffers in particular) and the ingest/worker races the overload
+# queue could hide.
+#
+# The asan pass also stretches the checkpoint-corruption fuzz loop in
+# recovery_test to ~2s (SOP_FUZZ_MS); the fuzz seed is randomized per run
+# and printed by the test, so a failing run can be replayed exactly with
+# SOP_FUZZ_SEED=<seed> tools/check.sh.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+export SOP_FUZZ_MS="${SOP_FUZZ_MS:-2000}"
+
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan -j"$(nproc)" "$@"
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test' "$@"
 
 cmake --preset noobs
 cmake --build --preset noobs -j"$(nproc)"

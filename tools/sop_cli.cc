@@ -5,6 +5,10 @@
 //   sop_cli --workload spec.txt (--data points.csv | --synthetic N | --stt N)
 //           [--detector NAME[,NAME...]] [--threads N] [--metrics-out PATH]
 //           [--print-outliers] [--aggregate] [--max-print N] [--seed S]
+//           [--on-bad-record fail|skip|clamp] [--quarantine PATH]
+//           [--checkpoint PATH] [--checkpoint-every N] [--resume-from PATH]
+//           [--queue N] [--overload block|drop-oldest]
+//           [--fault-rate SITE=RATE[,...]] [--fault-seed S] [--fault-max N]
 //
 // The workload spec format is documented in sop/io/workload_parser.h and
 // detector names in sop/detector/factory.h. --detector takes a
@@ -20,6 +24,23 @@
 // document containing, per detector run, the RunMetrics plus the full
 // registry snapshot (per-subsystem and per-query counters). The registry
 // is reset between runs so each snapshot is attributable to one detector.
+//
+// Resilience (DESIGN.md Sec. 12):
+//   --on-bad-record selects the CSV ingest policy (stream/record_policy.h);
+//     `skip` spools rejected raw lines to --quarantine when given. A load
+//     whose surviving point set is empty exits nonzero rather than running
+//     an empty stream.
+//   --checkpoint PATH writes a crash-consistent run checkpoint every
+//     --checkpoint-every batches; --resume-from PATH resumes one detector
+//     (exactly one --detector) from such a file, producing the same
+//     emissions the uninterrupted run would have.
+//   --queue N pipelines ingest and detection through an N-batch queue;
+//     --overload picks what a full queue does (block = backpressure,
+//     drop-oldest = shed + flag degraded emissions).
+//   --fault-rate arms the deterministic fault injector (common/fault.h),
+//     e.g. --fault-rate source-read=0.01,checkpoint-bytes=1; --fault-seed
+//     makes the failure schedule reproducible and --fault-max caps the
+//     number of injected failures per site so retry loops terminate.
 
 #include <algorithm>
 #include <cstdio>
@@ -30,8 +51,10 @@
 #include <string>
 #include <vector>
 
+#include "sop/common/fault.h"
 #include "sop/detector/engine.h"
 #include "sop/detector/factory.h"
+#include "sop/detector/run_checkpoint.h"
 #include "sop/gen/stt.h"
 #include "sop/gen/synthetic.h"
 #include "sop/io/csv.h"
@@ -50,8 +73,34 @@ void Usage(const char* argv0) {
       "          [--detector sop|sop-grid|grouped-sop|leap|mcod|mcod-grid|"
       "naive[,...]]\n"
       "          [--threads N] [--metrics-out PATH] [--print-outliers]\n"
-      "          [--max-print N] [--seed S]\n",
+      "          [--max-print N] [--seed S]\n"
+      "          [--on-bad-record fail|skip|clamp] [--quarantine PATH]\n"
+      "          [--checkpoint PATH] [--checkpoint-every N]"
+      " [--resume-from PATH]\n"
+      "          [--queue N] [--overload block|drop-oldest]\n"
+      "          [--fault-rate SITE=RATE[,...]] [--fault-seed S]"
+      " [--fault-max N]\n",
       argv0);
+}
+
+// Parses "site=rate" pairs ("source-read=0.01") against FaultSiteName().
+bool ParseFaultRate(const std::string& spec, sop::FaultInjector* injector) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string site_name = spec.substr(0, eq);
+  char* end = nullptr;
+  const double rate = std::strtod(spec.c_str() + eq + 1, &end);
+  if (end == nullptr || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return false;
+  }
+  for (int i = 0; i < sop::kNumFaultSites; ++i) {
+    const auto site = static_cast<sop::FaultSite>(i);
+    if (site_name == sop::FaultSiteName(site)) {
+      injector->SetRate(site, rate);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -85,6 +134,15 @@ int main(int argc, char** argv) {
   int64_t max_print = 20;
   uint64_t seed = 42;
   int num_threads = 1;
+  io::CsvReadOptions csv_options;
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 64;
+  std::string resume_path;
+  size_t queue_batches = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  std::vector<std::string> fault_specs;
+  uint64_t fault_seed = 1;
+  int64_t fault_max = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,6 +185,50 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be >= 0\n");
         return 2;
       }
+    } else if (arg == "--on-bad-record") {
+      const char* policy = next();
+      if (!ParseRecordPolicy(policy, &csv_options.policy)) {
+        std::fprintf(stderr, "--on-bad-record: unknown policy '%s'\n", policy);
+        return 2;
+      }
+    } else if (arg == "--quarantine") {
+      csv_options.quarantine_path = next();
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::atoll(next());
+      if (checkpoint_every < 1) {
+        std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--resume-from") {
+      resume_path = next();
+    } else if (arg == "--queue") {
+      const int64_t n = std::atoll(next());
+      if (n < 0) {
+        std::fprintf(stderr, "--queue must be >= 0\n");
+        return 2;
+      }
+      queue_batches = static_cast<size_t>(n);
+    } else if (arg == "--overload") {
+      const std::string policy = next();
+      if (policy == "block") {
+        overload_policy = OverloadPolicy::kBlock;
+      } else if (policy == "drop-oldest") {
+        overload_policy = OverloadPolicy::kDropOldest;
+      } else {
+        std::fprintf(stderr, "--overload: unknown policy '%s'\n",
+                     policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--fault-rate") {
+      for (const std::string& spec : SplitCommas(next())) {
+        fault_specs.push_back(spec);
+      }
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault-max") {
+      fault_max = std::atoll(next());
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -151,8 +253,25 @@ int main(int argc, char** argv) {
   // Materialize the stream once so every detector sees identical points.
   std::vector<Point> points;
   if (!data_path.empty()) {
-    if (!io::LoadPointsCsv(data_path, &points, &error)) {
+    io::CsvReadStats stats;
+    if (!io::LoadPointsCsv(data_path, csv_options, &points, &stats, &error)) {
       std::fprintf(stderr, "data error: %s\n", error.c_str());
+      return 1;
+    }
+    if (stats.quarantined > 0 || stats.repaired > 0) {
+      std::fprintf(stderr,
+                   "ingest: accepted %llu, quarantined %llu, repaired %llu "
+                   "record%s (policy %s)\n",
+                   static_cast<unsigned long long>(stats.accepted),
+                   static_cast<unsigned long long>(stats.quarantined),
+                   static_cast<unsigned long long>(stats.repaired),
+                   stats.repaired == 1 ? "" : "s",
+                   RecordPolicyName(csv_options.policy));
+    }
+    if (points.empty()) {
+      // A run over zero points would "succeed" vacuously; refuse instead.
+      std::fprintf(stderr, "data error: %s yielded no usable points\n",
+                   data_path.c_str());
       return 1;
     }
   } else if (synthetic_n > 0) {
@@ -186,7 +305,46 @@ int main(int argc, char** argv) {
 
   ExecOptions exec_options;
   exec_options.num_threads = num_threads;
+  exec_options.checkpoint.path = checkpoint_path;
+  exec_options.checkpoint.every_batches = checkpoint_every;
+  exec_options.overload.max_queue_batches = queue_batches;
+  exec_options.overload.policy = overload_policy;
   ExecutionEngine engine(exec_options);
+
+  RunCheckpoint resume_cp;
+  if (!resume_path.empty()) {
+    if (detectors.size() != 1) {
+      std::fprintf(stderr,
+                   "--resume-from requires exactly one --detector (a "
+                   "checkpoint belongs to one detector run)\n");
+      return 2;
+    }
+    if (!LoadRunCheckpoint(resume_path, &resume_cp, &error)) {
+      std::fprintf(stderr, "checkpoint error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  FaultInjector injector(fault_seed);
+  bool inject = false;
+  for (const std::string& spec : fault_specs) {
+    if (!ParseFaultRate(spec, &injector)) {
+      std::fprintf(stderr, "--fault-rate: bad site=rate spec '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    inject = true;
+  }
+  if (inject) {
+    if (fault_max >= 0) {
+      for (int i = 0; i < kNumFaultSites; ++i) {
+        injector.SetMaxFailures(static_cast<FaultSite>(i), fault_max);
+      }
+    }
+    std::fprintf(stderr, "fault injection armed (seed %llu)\n",
+                 static_cast<unsigned long long>(fault_seed));
+    FaultInjector::Arm(&injector);
+  }
 
   std::string runs_json;
   for (const std::string& name : detectors) {
@@ -201,23 +359,35 @@ int main(int argc, char** argv) {
 
     int64_t printed = 0;
     report::OutlierAggregator aggregator;
-    const RunMetrics metrics = engine.Run(
-        workload, points, detector.get(), [&](const QueryResult& r) {
-          if (aggregate) aggregator.Add(r);
-          if (!print_outliers || r.outliers.empty()) return;
-          if (printed++ >= max_print) return;
-          std::printf("query %zu @ %lld:", r.query_index,
-                      static_cast<long long>(r.boundary));
-          size_t shown = 0;
-          for (Seq s : r.outliers) {
-            if (++shown > 16) {
-              std::printf(" ... (%zu total)", r.outliers.size());
-              break;
-            }
-            std::printf(" %lld", static_cast<long long>(s));
-          }
-          std::printf("\n");
-        });
+    const ResultSink sink = [&](const QueryResult& r) {
+      if (aggregate) aggregator.Add(r);
+      if (!print_outliers || r.outliers.empty()) return;
+      if (printed++ >= max_print) return;
+      std::printf("query %zu @ %lld:%s", r.query_index,
+                  static_cast<long long>(r.boundary),
+                  r.degraded ? " (degraded)" : "");
+      size_t shown = 0;
+      for (Seq s : r.outliers) {
+        if (++shown > 16) {
+          std::printf(" ... (%zu total)", r.outliers.size());
+          break;
+        }
+        std::printf(" %lld", static_cast<long long>(s));
+      }
+      std::printf("\n");
+    };
+    RunMetrics metrics;
+    if (!resume_path.empty()) {
+      VectorSource source(points);  // copy: the original stream from its start
+      if (!engine.RunResumed(workload, &source, detector.get(), resume_cp,
+                             &metrics, &error, sink)) {
+        std::fprintf(stderr, "resume error: %s\n", error.c_str());
+        if (inject) FaultInjector::Disarm();
+        return 1;
+      }
+    } else {
+      metrics = engine.Run(workload, points, detector.get(), sink);
+    }
 
     if (aggregate) {
       // Per-point pivot (the paper's Alg. 3 output format) of the last few
@@ -235,6 +405,16 @@ int main(int argc, char** argv) {
     }
     std::printf("[%s] %s\n", name.c_str(), metrics.ToString().c_str());
     std::printf("[%s] %s\n", name.c_str(), metrics.LatencyToString().c_str());
+    if (metrics.shed_batches > 0) {
+      std::printf("[%s] overload shed %llu batch%s (%llu points), "
+                  "%llu degraded emission%s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(metrics.shed_batches),
+                  metrics.shed_batches == 1 ? "" : "es",
+                  static_cast<unsigned long long>(metrics.shed_points),
+                  static_cast<unsigned long long>(metrics.degraded_emissions),
+                  metrics.degraded_emissions == 1 ? "" : "s");
+    }
 
     if (want_metrics) {
       // Snapshot-and-reset attributes the registry contents to this run.
@@ -244,6 +424,19 @@ int main(int argc, char** argv) {
       runs_json += "    {\"detector\": \"" + obs::JsonEscape(name) +
                    "\", \"run\": " + metrics.ToJson() +
                    ", \"counters\": " + obs::ToJson(snap) + "}";
+    }
+  }
+
+  if (inject) {
+    FaultInjector::Disarm();
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      const auto site = static_cast<FaultSite>(i);
+      if (injector.consulted(site) == 0) continue;
+      std::fprintf(stderr,
+                   "fault site %-16s injected %lld of %lld decisions\n",
+                   FaultSiteName(site),
+                   static_cast<long long>(injector.injected(site)),
+                   static_cast<long long>(injector.consulted(site)));
     }
   }
 
