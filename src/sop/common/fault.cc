@@ -20,6 +20,10 @@ const char* FaultSiteName(FaultSite site) {
       return "checkpoint-bytes";
     case FaultSite::kBatchStall:
       return "batch-stall";
+    case FaultSite::kNetRead:
+      return "net-read";
+    case FaultSite::kNetWrite:
+      return "net-write";
   }
   return "unknown";
 }

@@ -39,8 +39,10 @@ enum class FaultSite : int {
   kCheckpointRead = 3,   // checkpoint file read failure (load fails cleanly)
   kCheckpointBytes = 4,  // checkpoint bytes corrupted in flight (CRC catches)
   kBatchStall = 5,       // detector batch stalls (overload policy engages)
+  kNetRead = 6,          // transient socket read failure (net retries)
+  kNetWrite = 7,         // transient socket write failure (net retries)
 };
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 8;
 
 /// Human-readable site name ("source-read", ...).
 const char* FaultSiteName(FaultSite site);

@@ -8,7 +8,6 @@ namespace sop {
 namespace {
 
 constexpr uint32_t kFrameMagic = 0x53'4f'50'46;  // "SOPF"
-constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
 
 // Reflected CRC-32 lookup table, built once at first use.
 const std::array<uint32_t, 256>& CrcTable() {
@@ -56,7 +55,7 @@ uint32_t Crc32(std::string_view bytes) {
 
 std::string WrapFrame(std::string_view payload) {
   std::string out;
-  out.reserve(kHeaderBytes + payload.size());
+  out.reserve(kFrameHeaderBytes + payload.size());
   AppendU32(&out, kFrameMagic);
   AppendU32(&out, kFrameVersion);
   AppendU64(&out, static_cast<uint64_t>(payload.size()));
@@ -65,9 +64,26 @@ std::string WrapFrame(std::string_view payload) {
   return out;
 }
 
+bool ParseFrameHeader(std::string_view header, uint64_t* payload_length,
+                      std::string* error) {
+  if (header.size() < kFrameHeaderBytes) {
+    return FrameError(error, "truncated header");
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  std::memcpy(&magic, header.data(), sizeof(magic));
+  std::memcpy(&version, header.data() + 4, sizeof(version));
+  if (magic != kFrameMagic) return FrameError(error, "bad magic");
+  if (version != kFrameVersion) {
+    return FrameError(error, "unsupported frame version");
+  }
+  std::memcpy(payload_length, header.data() + 8, sizeof(*payload_length));
+  return true;
+}
+
 bool UnwrapFrame(std::string_view framed, std::string_view* payload,
                  std::string* error) {
-  if (framed.size() < kHeaderBytes) {
+  if (framed.size() < kFrameHeaderBytes) {
     return FrameError(error, "truncated header");
   }
   uint32_t magic = 0;
@@ -82,13 +98,13 @@ bool UnwrapFrame(std::string_view framed, std::string_view* payload,
   if (version != kFrameVersion) {
     return FrameError(error, "unsupported frame version");
   }
-  if (framed.size() - kHeaderBytes < length) {
+  if (framed.size() - kFrameHeaderBytes < length) {
     return FrameError(error, "truncated payload");
   }
-  if (framed.size() - kHeaderBytes > length) {
+  if (framed.size() - kFrameHeaderBytes > length) {
     return FrameError(error, "trailing bytes after payload");
   }
-  const std::string_view body = framed.substr(kHeaderBytes, length);
+  const std::string_view body = framed.substr(kFrameHeaderBytes, length);
   if (Crc32(body) != crc) return FrameError(error, "payload CRC mismatch");
   *payload = body;
   return true;

@@ -34,6 +34,17 @@ uint32_t Crc32(std::string_view bytes);
 /// Current frame format version written by WrapFrame.
 inline constexpr uint32_t kFrameVersion = 1;
 
+/// Size of the fixed frame header (magic + version + length + CRC).
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+
+/// Validates the fixed-size header prefix of a frame without requiring the
+/// payload to be present yet: checks magic and version and extracts the
+/// payload length. This is what incremental decoders (net/protocol.h) use
+/// to know how many more bytes to wait for before UnwrapFrame can run on
+/// the complete frame. `header` must hold at least kFrameHeaderBytes.
+bool ParseFrameHeader(std::string_view header, uint64_t* payload_length,
+                      std::string* error = nullptr);
+
 /// Wraps `payload` in a magic + version + length + CRC frame.
 std::string WrapFrame(std::string_view payload);
 

@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "sop/common/check.h"
+#include "sop/common/frame.h"
 #include "sop/common/memory.h"
+#include "sop/common/serialize.h"
 #include "sop/obs/trace.h"
 
 namespace sop {
@@ -34,6 +36,18 @@ bool SopSession::RemoveQuery(QueryId id) {
   return true;
 }
 
+std::vector<QueryId> SopSession::RegisteredQueryIds() const {
+  std::vector<QueryId> ids;
+  ids.reserve(registered_.size());
+  for (const auto& [id, query] : registered_) ids.push_back(id);
+  return ids;
+}
+
+void SopSession::SetDetectorBuilder(DetectorBuilder builder) {
+  builder_ = std::move(builder);
+  dirty_ = true;
+}
+
 void SopSession::Rebuild(int64_t up_to_boundary) {
   SOP_TRACE("session/rebuild_ms");
   SOP_COUNTER_ADD("session/rebuilds", 1);
@@ -46,7 +60,9 @@ void SopSession::Rebuild(int64_t up_to_boundary) {
     workload.AddQuery(query);
     detector_query_ids_.push_back(id);
   }
-  detector_ = std::make_unique<SopDetector>(workload);
+  detector_ = builder_ != nullptr ? builder_(workload)
+                                  : std::make_unique<SopDetector>(workload);
+  SOP_CHECK_MSG(detector_ != nullptr, "detector builder returned null");
   // Replay the retained history so freshly added queries see populated
   // windows. Replay emissions are internal; only the final boundary's
   // results matter to the caller, and the caller collects those from the
@@ -109,6 +125,132 @@ void SopSession::Advance(std::vector<Point> batch, int64_t boundary,
   for (const SessionResult& r : Advance(std::move(batch), boundary)) {
     sink(r);
   }
+}
+
+namespace {
+// Session state format version. The payload lives inside a common/frame.h
+// frame, so truncation/corruption is caught before this version is read.
+constexpr uint32_t kSessionStateVersion = 1;
+}  // namespace
+
+std::string SopSession::SaveState() const {
+  BinaryWriter w;
+  w.WriteU32(kSessionStateVersion);
+  w.WriteU32(static_cast<uint32_t>(window_type_));
+  w.WriteU32(static_cast<uint32_t>(metric_));
+  w.WriteI64(history_window_);
+  w.WriteI64(next_id_);
+  w.WriteI64(next_seq_);
+  w.WriteI64(last_boundary_);
+  w.WriteU64(registered_.size());
+  for (const auto& [id, q] : registered_) {
+    w.WriteI64(id);
+    w.WriteDouble(q.r);
+    w.WriteI64(q.k);
+    w.WriteI64(q.win);
+    w.WriteI64(q.slide);
+  }
+  w.WriteU64(history_.size());
+  for (const HistoryBatch& b : history_) {
+    w.WriteI64(b.boundary);
+    w.WriteU64(b.points.size());
+    for (const Point& p : b.points) {
+      w.WriteI64(p.seq);
+      w.WriteI64(p.time);
+      w.WriteU64(p.values.size());
+      for (const double v : p.values) w.WriteDouble(v);
+    }
+  }
+  return WrapFrame(w.bytes());
+}
+
+bool SopSession::LoadState(std::string_view bytes, std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = std::string("session state: ") + what;
+    return false;
+  };
+  std::string_view payload;
+  if (!UnwrapFrame(bytes, &payload, error)) return false;
+  BinaryReader r(payload);
+  uint32_t version = 0;
+  uint32_t window_type = 0;
+  uint32_t metric = 0;
+  int64_t history_window = 0;
+  int64_t next_id = 0;
+  int64_t next_seq = 0;
+  int64_t last_boundary = 0;
+  if (!r.ReadU32(&version)) return fail("truncated");
+  if (version != kSessionStateVersion) return fail("unsupported version");
+  if (!r.ReadU32(&window_type) || !r.ReadU32(&metric) ||
+      !r.ReadI64(&history_window) || !r.ReadI64(&next_id) ||
+      !r.ReadI64(&next_seq) || !r.ReadI64(&last_boundary)) {
+    return fail("truncated");
+  }
+  if (window_type != static_cast<uint32_t>(window_type_) ||
+      metric != static_cast<uint32_t>(metric_) ||
+      history_window != history_window_) {
+    return fail("saved under a different session configuration");
+  }
+  uint64_t num_queries = 0;
+  if (!r.ReadU64(&num_queries)) return fail("truncated");
+  std::map<QueryId, OutlierQuery> restored;
+  QueryId prev_id = 0;
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    int64_t id = 0;
+    OutlierQuery q;
+    if (!r.ReadI64(&id) || !r.ReadDouble(&q.r) || !r.ReadI64(&q.k) ||
+        !r.ReadI64(&q.win) || !r.ReadI64(&q.slide)) {
+      return fail("truncated query table");
+    }
+    if (id <= prev_id || id >= next_id) return fail("bad query id");
+    prev_id = id;
+    Workload probe(window_type_, metric_);
+    probe.AddQuery(q);
+    if (!probe.Validate().empty()) return fail("invalid saved query");
+    restored.emplace(id, q);
+  }
+  uint64_t num_batches = 0;
+  if (!r.ReadU64(&num_batches)) return fail("truncated");
+  std::deque<HistoryBatch> history;
+  int64_t prev_boundary = INT64_MIN;
+  for (uint64_t i = 0; i < num_batches; ++i) {
+    HistoryBatch b;
+    uint64_t num_points = 0;
+    if (!r.ReadI64(&b.boundary) || !r.ReadU64(&num_points)) {
+      return fail("truncated history");
+    }
+    if (b.boundary <= prev_boundary || b.boundary > last_boundary) {
+      return fail("history boundaries out of order");
+    }
+    prev_boundary = b.boundary;
+    for (uint64_t j = 0; j < num_points; ++j) {
+      Point p;
+      uint64_t dims = 0;
+      if (!r.ReadI64(&p.seq) || !r.ReadI64(&p.time) || !r.ReadU64(&dims)) {
+        return fail("truncated history point");
+      }
+      // Read per value rather than resizing to `dims` up front: a corrupt
+      // count fails at the first missing byte instead of allocating.
+      for (uint64_t d = 0; d < dims; ++d) {
+        double v = 0.0;
+        if (!r.ReadDouble(&v)) return fail("truncated history point");
+        p.values.push_back(v);
+      }
+      b.points.push_back(std::move(p));
+    }
+    history.push_back(std::move(b));
+  }
+  if (!r.AtEnd()) return fail("trailing bytes");
+
+  registered_ = std::move(restored);
+  history_ = std::move(history);
+  next_id_ = next_id;
+  next_seq_ = next_seq;
+  last_boundary_ = last_boundary;
+  detector_.reset();
+  detector_query_ids_.clear();
+  dirty_ = true;  // next Advance rebuilds and replays the restored history
+  return true;
 }
 
 size_t SopSession::MemoryBytes() const {

@@ -11,6 +11,19 @@
 //
 // Queries are addressed by stable ids that survive other queries'
 // removal; results carry those ids.
+//
+// By default the session compiles SopDetector (the paper's algorithm); a
+// DetectorBuilder hook swaps in any OutlierDetector factory (the serving
+// layer, net/server.h, uses it to host every detector the string factory
+// knows). Because workload changes are always realized as
+// rebuild-and-replay over retained history, the hook needs nothing beyond
+// plain Advance() from the detector.
+//
+// SaveState/LoadState serialize the session — registered queries, stream
+// position, retained history — as one framed, CRC-checked blob
+// (common/frame.h). A restored session rebuilds its detector lazily by
+// replaying that history, so restore works for every detector builder, at
+// the cost of re-advancing up to history_window of stream.
 
 #ifndef SOP_CORE_SESSION_H_
 #define SOP_CORE_SESSION_H_
@@ -20,6 +33,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sop/core/sop_detector.h"
@@ -35,7 +50,15 @@ struct SessionResult {
   QueryId query_id = 0;
   int64_t boundary = 0;
   std::vector<Seq> outliers;
+  /// True when the delivery path knows this answer's window overlaps data
+  /// that was lost (e.g. the serving layer shed emissions under overload).
+  /// Set by session hosts, never by the session itself.
+  bool degraded = false;
 };
+
+/// Builds the detector a session compiles its current workload into.
+using DetectorBuilder =
+    std::function<std::unique_ptr<OutlierDetector>(const Workload&)>;
 
 /// Callback receiving each due query's emission, mirroring the engine's
 /// ResultSink (detector/engine.h) for streaming consumption.
@@ -60,6 +83,18 @@ class SopSession {
 
   size_t num_queries() const { return registered_.size(); }
 
+  /// Ids of every registered query, ascending.
+  std::vector<QueryId> RegisteredQueryIds() const;
+
+  /// The last boundary Advance accepted — INT64_MIN before the first batch.
+  /// Survives SaveState/LoadState, so a restored session's host can keep
+  /// enforcing boundary monotonicity where the stream actually left off.
+  int64_t last_boundary() const { return last_boundary_; }
+
+  /// Replaces the detector factory (default: SopDetector). Takes effect at
+  /// the next rebuild; call before the first Advance for a uniform run.
+  void SetDetectorBuilder(DetectorBuilder builder);
+
   /// Feeds a batch ending at `boundary` (boundaries must be multiples of
   /// every registered slide's gcd — use slide values with a common
   /// quantum). Unlike OutlierDetector::Advance, the session assigns the
@@ -80,6 +115,18 @@ class SopSession {
   /// Approximate evidence + history bytes held.
   size_t MemoryBytes() const;
 
+  /// Serializes the session — configuration guards, registered queries,
+  /// stream position, retained history — into one framed, checksummed blob.
+  std::string SaveState() const;
+
+  /// Restores a SaveState blob into a freshly constructed session whose
+  /// constructor arguments (window type, metric, history window) match the
+  /// saved ones. The detector is rebuilt lazily on the next Advance by
+  /// replaying the restored history. Returns false with a diagnostic in
+  /// `*error` (if non-null) on corruption, version or configuration
+  /// mismatch, leaving the session unchanged.
+  bool LoadState(std::string_view bytes, std::string* error = nullptr);
+
  private:
   // Rebuilds detector_ from the registered queries and replays history.
   void Rebuild(int64_t up_to_boundary);
@@ -98,7 +145,8 @@ class SopSession {
   };
   std::deque<HistoryBatch> history_;
 
-  std::unique_ptr<SopDetector> detector_;
+  DetectorBuilder builder_;  // null = build SopDetector
+  std::unique_ptr<OutlierDetector> detector_;
   std::vector<QueryId> detector_query_ids_;  // workload index -> id
   int64_t last_boundary_ = INT64_MIN;
   Seq next_seq_ = 0;

@@ -22,6 +22,16 @@ bool IsKnownDetector(const std::string& name) {
   return std::find(names.begin(), names.end(), name) != names.end();
 }
 
+std::string UnknownDetectorMessage(const std::string& name) {
+  std::string msg = "unknown detector '" + name + "'; known detectors: ";
+  const std::vector<std::string>& names = KnownDetectorNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += names[i];
+  }
+  return msg;
+}
+
 namespace {
 
 bool UsesMultipleAttributeSets(const Workload& workload) {

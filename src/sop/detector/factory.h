@@ -42,6 +42,11 @@ const std::vector<std::string>& KnownDetectorNames();
 /// True iff `name` is one of KnownDetectorNames().
 bool IsKnownDetector(const std::string& name);
 
+/// One-line diagnostic for a rejected detector name, listing every name in
+/// KnownDetectorNames(). Shared by sop_cli, sop_server and anything else
+/// that takes a detector name from the user.
+std::string UnknownDetectorMessage(const std::string& name);
+
 /// Builds the detector named `name` for `workload`. SOP and MCOD require a
 /// single attribute set per instance, so workloads mixing attribute sets
 /// are wrapped in a MultiAttributeDetector automatically; LEAP and Naive

@@ -1,0 +1,190 @@
+#include "sop/net/client.h"
+
+#include <utility>
+
+#include "sop/obs/trace.h"
+
+namespace sop {
+namespace net {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool SopClient::Connect(const std::string& host, int port,
+                        std::string* error) {
+  Close();
+  sock_ = ConnectTcp(host, port, error);
+  if (!sock_.valid()) return false;
+  HelloMsg hello;
+  if (!SendFrame(EncodeHello(hello), error)) return false;
+  std::string payload;
+  if (!ReadUntil(MsgType::kHelloAck, &payload, error)) return false;
+  if (!DecodeHelloAck(payload, &server_info_, error)) {
+    Close();
+    return false;
+  }
+  if (server_info_.protocol_version != kProtocolVersion) {
+    Close();
+    return Fail(error, "server speaks protocol v" +
+                           std::to_string(server_info_.protocol_version) +
+                           ", client speaks v" +
+                           std::to_string(kProtocolVersion));
+  }
+  return true;
+}
+
+int64_t SopClient::Subscribe(const OutlierQuery& query, std::string* error) {
+  SubscribeMsg msg;
+  msg.query = query;
+  if (!SendFrame(EncodeSubscribe(msg), error)) return 0;
+  std::string payload;
+  if (!ReadUntil(MsgType::kSubscribeAck, &payload, error)) return 0;
+  SubscribeAckMsg ack;
+  if (!DecodeSubscribeAck(payload, &ack, error)) {
+    Close();
+    return 0;
+  }
+  if (ack.query_id == 0) {
+    Fail(error, ack.error.empty() ? "subscription refused" : ack.error);
+    return 0;
+  }
+  return ack.query_id;
+}
+
+bool SopClient::Unsubscribe(int64_t query_id, std::string* error) {
+  UnsubscribeMsg msg;
+  msg.query_id = query_id;
+  if (!SendFrame(EncodeUnsubscribe(msg), error)) return false;
+  std::string payload;
+  if (!ReadUntil(MsgType::kUnsubscribeAck, &payload, error)) return false;
+  UnsubscribeAckMsg ack;
+  if (!DecodeUnsubscribeAck(payload, &ack, error)) {
+    Close();
+    return false;
+  }
+  if (!ack.ok) return Fail(error, "unknown query id");
+  return true;
+}
+
+bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
+                       IngestAckMsg* ack, std::string* error) {
+  SOP_TRACE("net/client/rtt_ms");
+  IngestMsg msg;
+  msg.boundary = boundary;
+  msg.points = points;
+  if (!SendFrame(EncodeIngest(msg), error)) return false;
+  std::string payload;
+  if (!ReadUntil(MsgType::kIngestAck, &payload, error)) return false;
+  if (!DecodeIngestAck(payload, ack, error)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+std::vector<EmissionMsg> SopClient::TakeEmissions() {
+  std::vector<EmissionMsg> out;
+  out.swap(emissions_);
+  return out;
+}
+
+std::vector<ErrorMsg> SopClient::TakeErrors() {
+  std::vector<ErrorMsg> out;
+  out.swap(errors_);
+  return out;
+}
+
+void SopClient::Close() {
+  sock_.Close();
+  decoder_ = FrameDecoder();
+}
+
+bool SopClient::SendFrame(const std::string& frame, std::string* error) {
+  if (!sock_.valid()) return Fail(error, "not connected");
+  if (!SendAll(sock_, frame, retry_, error)) {
+    Close();
+    return false;
+  }
+  bytes_sent_ += frame.size();
+  SOP_COUNTER_ADD("net/client/frames_out", 1);
+  SOP_COUNTER_ADD("net/client/bytes_out", frame.size());
+  return true;
+}
+
+bool SopClient::ReadUntil(MsgType expected, std::string* payload,
+                          std::string* error) {
+  if (!sock_.valid()) return Fail(error, "not connected");
+  char buf[64 << 10];
+  for (;;) {
+    // Drain every complete buffered frame before touching the socket.
+    for (;;) {
+      std::string frame_payload;
+      std::string decode_error;
+      const FrameDecoder::Status status =
+          decoder_.Next(&frame_payload, &decode_error);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        Close();
+        return Fail(error, decode_error);
+      }
+      SOP_COUNTER_ADD("net/client/frames_in", 1);
+      MsgType type;
+      if (!PeekType(frame_payload, &type, &decode_error)) {
+        Close();
+        return Fail(error, decode_error);
+      }
+      if (type == expected) {
+        *payload = std::move(frame_payload);
+        return true;
+      }
+      // Server-push frames interleave freely with awaited acks.
+      if (type == MsgType::kEmission) {
+        EmissionMsg emission;
+        if (!DecodeEmission(frame_payload, &emission, &decode_error)) {
+          Close();
+          return Fail(error, decode_error);
+        }
+        emissions_.push_back(std::move(emission));
+        continue;
+      }
+      if (type == MsgType::kError) {
+        ErrorMsg diagnostic;
+        if (!DecodeError(frame_payload, &diagnostic, &decode_error)) {
+          Close();
+          return Fail(error, decode_error);
+        }
+        errors_.push_back(std::move(diagnostic));
+        continue;
+      }
+      Close();
+      return Fail(error, std::string("unexpected server message: ") +
+                             MsgTypeName(type));
+    }
+    std::string recv_error;
+    const int64_t n =
+        RecvSome(sock_, buf, sizeof(buf), retry_, &recv_error);
+    if (n == 0) {
+      Close();
+      // A server that drops a connection explains why first; surface that
+      // diagnostic instead of a bare EOF.
+      if (!errors_.empty()) return Fail(error, errors_.back().message);
+      return Fail(error, "server closed the connection");
+    }
+    if (n < 0) {
+      Close();
+      return Fail(error, recv_error);
+    }
+    bytes_received_ += static_cast<uint64_t>(n);
+    SOP_COUNTER_ADD("net/client/bytes_in", n);
+    decoder_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace net
+}  // namespace sop

@@ -1,0 +1,106 @@
+// SopClient: a blocking client for the sop serving plane (net/server.h).
+//
+// The client is deliberately synchronous — one socket, no threads: each
+// request writes its frame and then reads until the matching ack arrives.
+// Server-push frames (emissions, error diagnostics) that arrive while
+// waiting are buffered and handed out via TakeEmissions/TakeErrors. The
+// server enqueues a batch's emissions ahead of its ingest ack on the same
+// connection, so after Ingest() returns, every emission the server routed
+// to this client for that batch is already in the buffer — which makes a
+// subscribe-ingest-collect loop deterministic, and is exactly what the
+// loopback equivalence tests exploit.
+//
+// Not thread-safe: one SopClient per thread.
+
+#ifndef SOP_NET_CLIENT_H_
+#define SOP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sop/common/point.h"
+#include "sop/net/protocol.h"
+#include "sop/net/socket.h"
+#include "sop/query/query.h"
+
+namespace sop {
+namespace net {
+
+/// Blocking serving-plane client. See file comment.
+class SopClient {
+ public:
+  SopClient() = default;
+  ~SopClient() { Close(); }
+
+  SopClient(const SopClient&) = delete;
+  SopClient& operator=(const SopClient&) = delete;
+
+  /// Connects and completes the hello handshake. Returns false with
+  /// `*error` set on connection failure, version mismatch, or a malformed
+  /// handshake.
+  bool Connect(const std::string& host, int port, std::string* error);
+
+  /// True between a successful Connect and Close (or a connection error,
+  /// which closes the socket).
+  bool connected() const { return sock_.valid(); }
+
+  /// Server session configuration from the handshake (valid after
+  /// Connect): window type, metric, detector name.
+  const HelloAckMsg& server_info() const { return server_info_; }
+
+  /// Registers a query; returns its server-assigned id (> 0), or 0 with
+  /// `*error` set when the server refused it (bad parameters) or the
+  /// connection failed.
+  int64_t Subscribe(const OutlierQuery& query, std::string* error);
+
+  /// Retires a previously subscribed query. Returns false for unknown ids
+  /// or connection failure.
+  bool Unsubscribe(int64_t query_id, std::string* error);
+
+  /// Sends one point batch ending at `boundary` and waits for the ack;
+  /// emissions the server routed to this client for the batch are buffered
+  /// before this returns (see file comment). Records the round-trip time
+  /// into the "net/client/rtt_ms" histogram. On a refused batch the ack
+  /// has accepted == 0 and the server's diagnostic is in TakeErrors().
+  bool Ingest(int64_t boundary, const std::vector<Point>& points,
+              IngestAckMsg* ack, std::string* error);
+
+  /// Drains buffered server-push emissions, in arrival order.
+  std::vector<EmissionMsg> TakeEmissions();
+
+  /// Drains buffered server error diagnostics, in arrival order.
+  std::vector<ErrorMsg> TakeErrors();
+
+  /// Bytes sent/received since Connect.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  void Close();
+
+  /// Retry schedule for injected socket faults (set before Connect).
+  void set_retry(const NetRetryOptions& retry) { retry_ = retry; }
+
+ private:
+  // Sends one encoded frame. Closes the socket on failure.
+  bool SendFrame(const std::string& frame, std::string* error);
+
+  // Reads frames until one of type `expected` arrives, buffering
+  // emissions/errors encountered on the way; the expected payload lands in
+  // `*payload`. Closes the socket on EOF, socket error, or framing loss.
+  bool ReadUntil(MsgType expected, std::string* payload, std::string* error);
+
+  Socket sock_;
+  FrameDecoder decoder_;
+  NetRetryOptions retry_;
+  HelloAckMsg server_info_;
+  std::vector<EmissionMsg> emissions_;
+  std::vector<ErrorMsg> errors_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace net
+}  // namespace sop
+
+#endif  // SOP_NET_CLIENT_H_

@@ -1,0 +1,342 @@
+#include "sop/net/protocol.h"
+
+#include <utility>
+
+#include "sop/common/frame.h"
+#include "sop/common/serialize.h"
+
+namespace sop {
+namespace net {
+
+namespace {
+
+bool Malformed(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string("wire message: ") + what;
+  return false;
+}
+
+// Reads and verifies the leading type word.
+bool ConsumeType(BinaryReader* r, MsgType expected, std::string* error) {
+  uint32_t word = 0;
+  if (!r->ReadU32(&word)) return Malformed(error, "truncated type word");
+  if (word != static_cast<uint32_t>(expected)) {
+    return Malformed(error, "unexpected message type");
+  }
+  return true;
+}
+
+// Every message ends here: the reader must be clean and fully consumed.
+bool FinishDecode(const BinaryReader& r, std::string* error) {
+  if (!r.AtEnd()) return Malformed(error, "trailing bytes");
+  return true;
+}
+
+void WritePoint(BinaryWriter* w, const Point& p) {
+  w->WriteI64(p.time);
+  w->WriteU64(p.values.size());
+  for (const double v : p.values) w->WriteDouble(v);
+}
+
+// Reads one ingest point. Values are read one at a time so a corrupt
+// dimension count fails at the first missing byte instead of allocating.
+bool ReadPoint(BinaryReader* r, Point* p, std::string* error) {
+  uint64_t dims = 0;
+  if (!r->ReadI64(&p->time) || !r->ReadU64(&dims)) {
+    return Malformed(error, "truncated point");
+  }
+  for (uint64_t d = 0; d < dims; ++d) {
+    double v = 0.0;
+    if (!r->ReadDouble(&v)) return Malformed(error, "truncated point");
+    p->values.push_back(v);
+  }
+  return true;
+}
+
+std::string Finish(BinaryWriter* w) { return WrapFrame(w->bytes()); }
+
+BinaryWriter Begin(MsgType type) {
+  BinaryWriter w;
+  w.WriteU32(static_cast<uint32_t>(type));
+  return w;
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kHelloAck:
+      return "hello-ack";
+    case MsgType::kIngest:
+      return "ingest";
+    case MsgType::kIngestAck:
+      return "ingest-ack";
+    case MsgType::kSubscribe:
+      return "subscribe";
+    case MsgType::kSubscribeAck:
+      return "subscribe-ack";
+    case MsgType::kUnsubscribe:
+      return "unsubscribe";
+    case MsgType::kUnsubscribeAck:
+      return "unsubscribe-ack";
+    case MsgType::kEmission:
+      return "emission";
+    case MsgType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeHello(const HelloMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kHello);
+  w.WriteU32(msg.protocol_version);
+  return Finish(&w);
+}
+
+std::string EncodeHelloAck(const HelloAckMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kHelloAck);
+  w.WriteU32(msg.protocol_version);
+  w.WriteU32(msg.window_type);
+  w.WriteU32(msg.metric);
+  w.WriteBytes(msg.detector);
+  w.WriteI64(msg.last_boundary);
+  return Finish(&w);
+}
+
+std::string EncodeIngest(const IngestMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kIngest);
+  w.WriteI64(msg.boundary);
+  w.WriteU64(msg.points.size());
+  for (const Point& p : msg.points) WritePoint(&w, p);
+  return Finish(&w);
+}
+
+std::string EncodeIngestAck(const IngestAckMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kIngestAck);
+  w.WriteI64(msg.boundary);
+  w.WriteU64(msg.accepted);
+  w.WriteU64(msg.emissions);
+  return Finish(&w);
+}
+
+std::string EncodeSubscribe(const SubscribeMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kSubscribe);
+  w.WriteDouble(msg.query.r);
+  w.WriteI64(msg.query.k);
+  w.WriteI64(msg.query.win);
+  w.WriteI64(msg.query.slide);
+  return Finish(&w);
+}
+
+std::string EncodeSubscribeAck(const SubscribeAckMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kSubscribeAck);
+  w.WriteI64(msg.query_id);
+  w.WriteBytes(msg.error);
+  return Finish(&w);
+}
+
+std::string EncodeUnsubscribe(const UnsubscribeMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kUnsubscribe);
+  w.WriteI64(msg.query_id);
+  return Finish(&w);
+}
+
+std::string EncodeUnsubscribeAck(const UnsubscribeAckMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kUnsubscribeAck);
+  w.WriteBool(msg.ok);
+  return Finish(&w);
+}
+
+std::string EncodeEmission(const EmissionMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kEmission);
+  w.WriteI64(msg.query_id);
+  w.WriteI64(msg.boundary);
+  w.WriteBool(msg.degraded);
+  w.WriteU64(msg.outliers.size());
+  for (const Seq s : msg.outliers) w.WriteI64(s);
+  return Finish(&w);
+}
+
+std::string EncodeError(const ErrorMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kError);
+  w.WriteBytes(msg.message);
+  return Finish(&w);
+}
+
+bool PeekType(std::string_view payload, MsgType* type, std::string* error) {
+  BinaryReader r(payload);
+  uint32_t word = 0;
+  if (!r.ReadU32(&word)) return Malformed(error, "truncated type word");
+  if (word < static_cast<uint32_t>(MsgType::kHello) ||
+      word > static_cast<uint32_t>(MsgType::kError)) {
+    return Malformed(error, "unknown message type");
+  }
+  *type = static_cast<MsgType>(word);
+  return true;
+}
+
+bool DecodeHello(std::string_view payload, HelloMsg* out, std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kHello, error)) return false;
+  if (!r.ReadU32(&out->protocol_version)) {
+    return Malformed(error, "truncated hello");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeHelloAck(std::string_view payload, HelloAckMsg* out,
+                    std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kHelloAck, error)) return false;
+  if (!r.ReadU32(&out->protocol_version) || !r.ReadU32(&out->window_type) ||
+      !r.ReadU32(&out->metric) || !r.ReadBytes(&out->detector) ||
+      !r.ReadI64(&out->last_boundary)) {
+    return Malformed(error, "truncated hello-ack");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeIngest(std::string_view payload, IngestMsg* out,
+                  std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kIngest, error)) return false;
+  uint64_t count = 0;
+  if (!r.ReadI64(&out->boundary) || !r.ReadU64(&count)) {
+    return Malformed(error, "truncated ingest");
+  }
+  out->points.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    Point p;
+    if (!ReadPoint(&r, &p, error)) return false;
+    out->points.push_back(std::move(p));
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeIngestAck(std::string_view payload, IngestAckMsg* out,
+                     std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kIngestAck, error)) return false;
+  if (!r.ReadI64(&out->boundary) || !r.ReadU64(&out->accepted) ||
+      !r.ReadU64(&out->emissions)) {
+    return Malformed(error, "truncated ingest-ack");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeSubscribe(std::string_view payload, SubscribeMsg* out,
+                     std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kSubscribe, error)) return false;
+  if (!r.ReadDouble(&out->query.r) || !r.ReadI64(&out->query.k) ||
+      !r.ReadI64(&out->query.win) || !r.ReadI64(&out->query.slide)) {
+    return Malformed(error, "truncated subscribe");
+  }
+  out->query.attribute_set = 0;
+  return FinishDecode(r, error);
+}
+
+bool DecodeSubscribeAck(std::string_view payload, SubscribeAckMsg* out,
+                        std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kSubscribeAck, error)) return false;
+  if (!r.ReadI64(&out->query_id) || !r.ReadBytes(&out->error)) {
+    return Malformed(error, "truncated subscribe-ack");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeUnsubscribe(std::string_view payload, UnsubscribeMsg* out,
+                       std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kUnsubscribe, error)) return false;
+  if (!r.ReadI64(&out->query_id)) {
+    return Malformed(error, "truncated unsubscribe");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeUnsubscribeAck(std::string_view payload, UnsubscribeAckMsg* out,
+                          std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kUnsubscribeAck, error)) return false;
+  if (!r.ReadBool(&out->ok)) {
+    return Malformed(error, "truncated unsubscribe-ack");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeEmission(std::string_view payload, EmissionMsg* out,
+                    std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kEmission, error)) return false;
+  uint64_t count = 0;
+  if (!r.ReadI64(&out->query_id) || !r.ReadI64(&out->boundary) ||
+      !r.ReadBool(&out->degraded) || !r.ReadU64(&count)) {
+    return Malformed(error, "truncated emission");
+  }
+  out->outliers.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    Seq s = 0;
+    if (!r.ReadI64(&s)) return Malformed(error, "truncated emission");
+    out->outliers.push_back(s);
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeError(std::string_view payload, ErrorMsg* out, std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kError, error)) return false;
+  if (!r.ReadBytes(&out->message)) {
+    return Malformed(error, "truncated error message");
+  }
+  return FinishDecode(r, error);
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  if (failed_) return;  // bytes after framing loss are unparseable anyway
+  // Compact the consumed prefix before growing the buffer so steady-state
+  // memory stays proportional to one frame, not to connection lifetime.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() ||
+                        consumed_ > kMaxFramePayload / 4)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::Next(std::string* payload,
+                                        std::string* error) {
+  auto fail = [this, error](const std::string& what) {
+    failed_ = true;
+    failure_ = what;
+    if (error != nullptr) *error = what;
+    return Status::kError;
+  };
+  if (failed_) {
+    if (error != nullptr) *error = failure_;
+    return Status::kError;
+  }
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return Status::kNeedMore;
+  uint64_t length = 0;
+  std::string header_error;
+  if (!ParseFrameHeader(pending, &length, &header_error)) {
+    return fail(header_error);
+  }
+  if (length > kMaxFramePayload) return fail("wire frame: oversized payload");
+  if (pending.size() - kFrameHeaderBytes < length) return Status::kNeedMore;
+  const std::string_view frame =
+      pending.substr(0, kFrameHeaderBytes + static_cast<size_t>(length));
+  std::string_view body;
+  std::string unwrap_error;
+  if (!UnwrapFrame(frame, &body, &unwrap_error)) return fail(unwrap_error);
+  payload->assign(body.data(), body.size());
+  consumed_ += frame.size();
+  return Status::kFrame;
+}
+
+}  // namespace net
+}  // namespace sop

@@ -1,0 +1,209 @@
+// The sop wire protocol: length-prefixed, CRC-checked message frames.
+//
+// Every message on a connection — in either direction — is one
+// common/frame.h frame (magic "SOPF" + format version + payload length +
+// CRC-32 + payload), so the serving plane inherits the exact corruption
+// detection the checkpoint path already proved out: truncation, extension
+// and bit flips are all caught before a payload is interpreted. The
+// payload is a u32 message type word followed by a type-specific body in
+// common/serialize.h fixed-width little-endian encoding.
+//
+// Message planes (DESIGN.md Sec. 13):
+//
+//   handshake   kHello -> kHelloAck      version + session configuration
+//   ingest      kIngest -> kIngestAck    batched points ending at a boundary
+//   queries     kSubscribe -> kSubscribeAck, kUnsubscribe -> kUnsubscribeAck
+//   emissions   kEmission (server-push)  per-subscriber filtered results
+//   errors      kError (server-push)     diagnostic; connection stays up
+//
+// FrameDecoder is the incremental receive path: it accepts bytes exactly
+// as recv(2) hands them over — short reads, partial frames, many frames
+// per read — and yields complete, CRC-verified payloads. A malformed
+// header or checksum is unrecoverable (a byte stream cannot resync after
+// framing is lost), so the decoder latches into an error state and the
+// connection must be dropped.
+//
+// All decode functions are exception-free and never trust a length field
+// further than the bytes actually present; oversized frames are rejected
+// at header-parse time (kMaxFramePayload) so a hostile 8-byte header
+// cannot make the server reserve gigabytes.
+
+#ifndef SOP_NET_PROTOCOL_H_
+#define SOP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sop/common/point.h"
+#include "sop/query/query.h"
+
+namespace sop {
+namespace net {
+
+/// Wire protocol version negotiated in the handshake. Bumped on any
+/// incompatible message-body change; the frame format version
+/// (common/frame.h) covers the framing itself.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload, enforced on both send and receive.
+/// Large enough for ~100k ingested points per batch, small enough that a
+/// corrupt or hostile length field cannot balloon a connection buffer.
+inline constexpr uint64_t kMaxFramePayload = 16ull << 20;  // 16 MiB
+
+/// Message type word, first u32 of every frame payload.
+enum class MsgType : uint32_t {
+  kHello = 1,           // client -> server: open a session
+  kHelloAck = 2,        // server -> client: accept + server configuration
+  kIngest = 3,          // client -> server: point batch ending at a boundary
+  kIngestAck = 4,       // server -> client: batch advanced (or refused)
+  kSubscribe = 5,       // client -> server: register a query
+  kSubscribeAck = 6,    // server -> client: assigned query id
+  kUnsubscribe = 7,     // client -> server: retire a query
+  kUnsubscribeAck = 8,  // server -> client: removal result
+  kEmission = 9,        // server -> client: one query's outliers at a boundary
+  kError = 10,          // server -> client: diagnostic (connection stays up)
+};
+
+/// Human-readable type name for logs and test failures.
+const char* MsgTypeName(MsgType type);
+
+struct HelloMsg {
+  uint32_t protocol_version = kProtocolVersion;
+};
+
+struct HelloAckMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  uint32_t window_type = 0;  // WindowType under the hood
+  uint32_t metric = 0;       // Metric under the hood
+  std::string detector;      // factory name the server compiles
+  /// The shared stream's last advanced boundary (INT64_MIN when no batch
+  /// has been ingested yet). Late-joining ingesters continue from here —
+  /// the stream is shared, so boundaries are global, not per-connection.
+  int64_t last_boundary = 0;
+};
+
+struct IngestMsg {
+  /// Window key this batch ends at (exclusive); must exceed the server's
+  /// last advanced boundary and respect the subscribers' slide quantum.
+  int64_t boundary = 0;
+  /// Points in arrival order. seq values are ignored — the server's
+  /// session assigns global arrival sequence numbers itself.
+  std::vector<Point> points;
+};
+
+struct IngestAckMsg {
+  int64_t boundary = 0;
+  /// Points accepted into the session (echoes the batch size).
+  uint64_t accepted = 0;
+  /// Emissions routed to this subscriber for this batch, delivered before
+  /// the ack on the same connection.
+  uint64_t emissions = 0;
+};
+
+struct SubscribeMsg {
+  OutlierQuery query;  // full attribute space only (attribute_set == 0)
+};
+
+struct SubscribeAckMsg {
+  /// Assigned query id (> 0); 0 when the subscription was refused, with
+  /// the reason in `error`.
+  int64_t query_id = 0;
+  std::string error;
+};
+
+struct UnsubscribeMsg {
+  int64_t query_id = 0;
+};
+
+struct UnsubscribeAckMsg {
+  bool ok = false;
+};
+
+struct EmissionMsg {
+  int64_t query_id = 0;
+  int64_t boundary = 0;
+  /// True when this answer is exact over the data the server saw but the
+  /// delivery stream to this subscriber is known lossy: either the engine
+  /// flagged the emission degraded upstream, or the server shed earlier
+  /// emissions from this subscriber's send queue under overload.
+  bool degraded = false;
+  std::vector<Seq> outliers;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+/// --- encoding ----------------------------------------------------------
+/// Each encoder returns one complete frame, ready to write to a socket.
+
+std::string EncodeHello(const HelloMsg& msg);
+std::string EncodeHelloAck(const HelloAckMsg& msg);
+std::string EncodeIngest(const IngestMsg& msg);
+std::string EncodeIngestAck(const IngestAckMsg& msg);
+std::string EncodeSubscribe(const SubscribeMsg& msg);
+std::string EncodeSubscribeAck(const SubscribeAckMsg& msg);
+std::string EncodeUnsubscribe(const UnsubscribeMsg& msg);
+std::string EncodeUnsubscribeAck(const UnsubscribeAckMsg& msg);
+std::string EncodeEmission(const EmissionMsg& msg);
+std::string EncodeError(const ErrorMsg& msg);
+
+/// --- decoding ----------------------------------------------------------
+/// PeekType reads the payload's type word; the per-type decoders verify it
+/// and parse the body, returning false (with a diagnostic) on any type
+/// mismatch, truncation, trailing garbage, or out-of-range field.
+
+bool PeekType(std::string_view payload, MsgType* type, std::string* error);
+
+bool DecodeHello(std::string_view payload, HelloMsg* out, std::string* error);
+bool DecodeHelloAck(std::string_view payload, HelloAckMsg* out,
+                    std::string* error);
+bool DecodeIngest(std::string_view payload, IngestMsg* out,
+                  std::string* error);
+bool DecodeIngestAck(std::string_view payload, IngestAckMsg* out,
+                     std::string* error);
+bool DecodeSubscribe(std::string_view payload, SubscribeMsg* out,
+                     std::string* error);
+bool DecodeSubscribeAck(std::string_view payload, SubscribeAckMsg* out,
+                        std::string* error);
+bool DecodeUnsubscribe(std::string_view payload, UnsubscribeMsg* out,
+                       std::string* error);
+bool DecodeUnsubscribeAck(std::string_view payload, UnsubscribeAckMsg* out,
+                          std::string* error);
+bool DecodeEmission(std::string_view payload, EmissionMsg* out,
+                    std::string* error);
+bool DecodeError(std::string_view payload, ErrorMsg* out, std::string* error);
+
+/// Incremental frame extraction over a raw byte stream. See file comment.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     // *payload holds one complete, CRC-verified frame payload
+    kNeedMore,  // no complete frame buffered yet; feed more bytes
+    kError,     // framing lost (bad magic/version/length/CRC); drop the
+                // connection — every later Next() repeats kError
+  };
+
+  /// Appends raw received bytes to the decode buffer.
+  void Append(const char* data, size_t n);
+
+  /// Extracts the next complete frame payload if one is buffered.
+  /// On kError, `*error` (if non-null) describes the problem.
+  Status Next(std::string* payload, std::string* error = nullptr);
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool failed_ = false;
+  std::string failure_;
+};
+
+}  // namespace net
+}  // namespace sop
+
+#endif  // SOP_NET_PROTOCOL_H_

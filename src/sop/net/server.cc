@@ -1,0 +1,664 @@
+#include "sop/net/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sop/common/fault.h"
+#include "sop/common/thread_pool.h"
+#include "sop/core/session.h"
+#include "sop/detector/factory.h"
+#include "sop/io/file_util.h"
+#include "sop/net/protocol.h"
+#include "sop/obs/trace.h"
+
+namespace sop {
+namespace net {
+
+namespace {
+
+/// One connected client. The reader thread owns protocol dispatch; the
+/// writer thread drains the bounded send queue; everything shared between
+/// them (and the detection loop, which enqueues emissions) sits behind mu.
+struct Conn {
+  explicit Conn(Socket s) : sock(std::move(s)) {}
+
+  Socket sock;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mu;
+  std::condition_variable cv_push;  // writer waits: queue non-empty/closing
+  std::condition_variable cv_pop;   // kBlock enqueuers wait: queue has room
+
+  struct Outgoing {
+    std::string frame;
+    bool droppable;  // emissions may be shed; control replies never
+  };
+  std::deque<Outgoing> sendq;       // guarded by mu
+  bool closing = false;             // guarded by mu
+  bool hello_done = false;          // guarded by mu (reader-only in practice)
+  // An emission to this subscriber was shed; the next delivered emission
+  // carries degraded=true so the client can see the gap.
+  bool degraded_pending = false;    // guarded by mu
+  std::set<QueryId> subs;           // guarded by mu
+};
+
+struct IngestOp {
+  std::shared_ptr<Conn> conn;
+  IngestMsg msg;
+};
+
+}  // namespace
+
+struct SopServer::Impl {
+  explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+
+  ServerOptions options;
+
+  // --- always-on stats (obs may be compiled out) -------------------------
+  struct AtomicStats {
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> active_clients{0};
+    std::atomic<uint64_t> frames_in{0};
+    std::atomic<uint64_t> frames_out{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> ingest_batches{0};
+    std::atomic<uint64_t> ingest_points{0};
+    std::atomic<uint64_t> emissions{0};
+    std::atomic<uint64_t> shed_emissions{0};
+    std::atomic<uint64_t> subscribes{0};
+    std::atomic<uint64_t> unsubscribes{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> checkpoint_failures{0};
+    std::atomic<bool> resumed{false};
+  };
+  AtomicStats stats;
+
+  // --- serving state -----------------------------------------------------
+  Socket listener;
+  std::thread accept_thread;
+  std::unique_ptr<ThreadPool> pool;
+  std::future<void> detect_done;
+
+  // The session and its stream position. Advance/AddQuery/RemoveQuery/
+  // SaveState all serialize here; the detection loop holds it for the
+  // duration of each batch.
+  std::mutex session_mu;
+  std::unique_ptr<SopSession> session;        // guarded by session_mu
+  int64_t last_boundary;                      // guarded by session_mu
+  int64_t batches_since_checkpoint = 0;       // guarded by session_mu
+
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<Conn>> conns;   // guarded by conns_mu
+
+  // Bounded reader -> detection-loop handoff. A full queue blocks readers,
+  // so ingest backpressure propagates to the client's TCP stream.
+  std::mutex ingest_mu;
+  std::condition_variable ingest_cv_push;     // detection loop waits
+  std::condition_variable ingest_cv_pop;      // readers wait for room
+  std::deque<IngestOp> ingest_queue;          // guarded by ingest_mu
+
+  std::atomic<bool> stopping{false};
+  bool started = false;
+  bool stopped = false;
+
+  // --- implementation ----------------------------------------------------
+
+  // Enqueues one frame for `conn`'s writer. Droppable frames respect the
+  // queue bound under the configured overload policy; control frames
+  // bypass the bound (they are request-paced, so the reader's own
+  // backpressure already limits them). Returns false if the frame was
+  // dropped (connection closing, or shed under kDropOldest).
+  bool EnqueueFrame(const std::shared_ptr<Conn>& conn, std::string frame,
+                    bool droppable) {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    if (conn->closing) return false;
+    if (droppable && conn->sendq.size() >= options.max_send_queue) {
+      if (options.send_policy == OverloadPolicy::kDropOldest) {
+        // Shed the oldest queued emission; never a control reply.
+        for (auto it = conn->sendq.begin(); it != conn->sendq.end(); ++it) {
+          if (it->droppable) {
+            conn->sendq.erase(it);
+            conn->degraded_pending = true;
+            stats.shed_emissions.fetch_add(1, std::memory_order_relaxed);
+            SOP_COUNTER_ADD("net/server/shed_emissions", 1);
+            break;
+          }
+        }
+      } else {
+        // kBlock: lossless backpressure into the detection loop.
+        conn->cv_pop.wait(lock, [&] {
+          return conn->closing ||
+                 conn->sendq.size() < options.max_send_queue;
+        });
+        if (conn->closing) return false;
+      }
+    }
+    conn->sendq.push_back(Conn::Outgoing{std::move(frame), droppable});
+    SOP_GAUGE_SET_MAX("net/server/send_queue_depth", conn->sendq.size());
+    conn->cv_push.notify_one();
+    return true;
+  }
+
+  // Marks `conn` closing, wakes its threads, and retires its
+  // subscriptions. Idempotent; callable from any thread.
+  void CloseConn(const std::shared_ptr<Conn>& conn) {
+    std::vector<QueryId> subs;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closing) return;
+      conn->closing = true;
+      subs.assign(conn->subs.begin(), conn->subs.end());
+      conn->subs.clear();
+      conn->cv_push.notify_all();
+      conn->cv_pop.notify_all();
+    }
+    conn->sock.ShutdownBoth();  // unblocks recv/send in reader/writer
+    if (!subs.empty()) {
+      std::lock_guard<std::mutex> lock(session_mu);
+      for (const QueryId id : subs) session->RemoveQuery(id);
+    }
+    stats.active_clients.fetch_sub(1, std::memory_order_relaxed);
+    SOP_GAUGE_SET("net/server/active_clients",
+                  stats.active_clients.load(std::memory_order_relaxed));
+    SOP_COUNTER_ADD("net/server/disconnects", 1);
+  }
+
+  void WriterLoop(const std::shared_ptr<Conn>& conn) {
+    for (;;) {
+      Conn::Outgoing out;
+      {
+        std::unique_lock<std::mutex> lock(conn->mu);
+        conn->cv_push.wait(lock, [&] {
+          return conn->closing || !conn->sendq.empty();
+        });
+        // Drain queued frames even when closing: Stop() expects in-flight
+        // acks to reach clients before the socket goes down — but a writer
+        // stuck on a dead peer still exits via SendAll failure below.
+        if (conn->sendq.empty()) return;
+        out = std::move(conn->sendq.front());
+        conn->sendq.pop_front();
+        conn->cv_pop.notify_one();
+      }
+      std::string error;
+      if (!SendAll(conn->sock, out.frame, options.retry, &error)) {
+        CloseConn(conn);
+        return;
+      }
+      stats.frames_out.fetch_add(1, std::memory_order_relaxed);
+      stats.bytes_out.fetch_add(out.frame.size(), std::memory_order_relaxed);
+      SOP_COUNTER_ADD("net/server/frames_out", 1);
+      SOP_COUNTER_ADD("net/server/bytes_out", out.frame.size());
+    }
+  }
+
+  void SendError(const std::shared_ptr<Conn>& conn, std::string message) {
+    stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    SOP_COUNTER_ADD("net/server/protocol_errors", 1);
+    EnqueueFrame(conn, EncodeError(ErrorMsg{std::move(message)}),
+                 /*droppable=*/false);
+  }
+
+  // Handles one complete, CRC-verified frame payload from `conn`.
+  // Returns false when the connection must be dropped.
+  bool Dispatch(const std::shared_ptr<Conn>& conn,
+                const std::string& payload) {
+    MsgType type;
+    std::string error;
+    if (!PeekType(payload, &type, &error)) {
+      SendError(conn, error);
+      return false;
+    }
+    switch (type) {
+      case MsgType::kHello: {
+        HelloMsg hello;
+        if (!DecodeHello(payload, &hello, &error)) {
+          SendError(conn, error);
+          return false;
+        }
+        if (hello.protocol_version != kProtocolVersion) {
+          SendError(conn, "protocol version mismatch: server speaks v" +
+                              std::to_string(kProtocolVersion));
+          return false;
+        }
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->hello_done = true;
+        }
+        HelloAckMsg ack;
+        ack.protocol_version = kProtocolVersion;
+        ack.window_type = static_cast<uint32_t>(options.window_type);
+        ack.metric = static_cast<uint32_t>(options.metric);
+        ack.detector = options.detector;
+        {
+          std::lock_guard<std::mutex> session_lock(session_mu);
+          ack.last_boundary = last_boundary;
+        }
+        EnqueueFrame(conn, EncodeHelloAck(ack), /*droppable=*/false);
+        return true;
+      }
+      case MsgType::kIngest: {
+        IngestOp op;
+        op.conn = conn;
+        if (!DecodeIngest(payload, &op.msg, &error)) {
+          SendError(conn, error);
+          return false;
+        }
+        std::unique_lock<std::mutex> lock(ingest_mu);
+        ingest_cv_pop.wait(lock, [&] {
+          return stopping.load(std::memory_order_relaxed) ||
+                 ingest_queue.size() < options.max_ingest_queue;
+        });
+        if (stopping.load(std::memory_order_relaxed)) return false;
+        ingest_queue.push_back(std::move(op));
+        SOP_GAUGE_SET_MAX("net/server/ingest_queue_depth",
+                          ingest_queue.size());
+        ingest_cv_push.notify_one();
+        return true;
+      }
+      case MsgType::kSubscribe: {
+        SubscribeMsg sub;
+        if (!DecodeSubscribe(payload, &sub, &error)) {
+          SendError(conn, error);
+          return false;
+        }
+        // Pre-validate exactly as SopSession::AddQuery would CHECK: a bad
+        // query from the wire must refuse the subscription, not abort the
+        // server process.
+        Workload probe(options.window_type, options.metric);
+        probe.AddQuery(sub.query);
+        const std::string verdict = probe.Validate();
+        SubscribeAckMsg ack;
+        if (!verdict.empty()) {
+          ack.query_id = 0;
+          ack.error = verdict;
+        } else {
+          {
+            std::lock_guard<std::mutex> session_lock(session_mu);
+            ack.query_id = session->AddQuery(sub.query);
+          }
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->subs.insert(ack.query_id);
+          stats.subscribes.fetch_add(1, std::memory_order_relaxed);
+          SOP_COUNTER_ADD("net/server/subscribes", 1);
+        }
+        EnqueueFrame(conn, EncodeSubscribeAck(ack), /*droppable=*/false);
+        return true;
+      }
+      case MsgType::kUnsubscribe: {
+        UnsubscribeMsg unsub;
+        if (!DecodeUnsubscribe(payload, &unsub, &error)) {
+          SendError(conn, error);
+          return false;
+        }
+        // A client may only retire its own subscriptions.
+        bool owned = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          owned = conn->subs.erase(unsub.query_id) > 0;
+        }
+        UnsubscribeAckMsg ack;
+        if (owned) {
+          std::lock_guard<std::mutex> session_lock(session_mu);
+          ack.ok = session->RemoveQuery(unsub.query_id);
+        }
+        if (ack.ok) {
+          stats.unsubscribes.fetch_add(1, std::memory_order_relaxed);
+          SOP_COUNTER_ADD("net/server/unsubscribes", 1);
+        }
+        EnqueueFrame(conn, EncodeUnsubscribeAck(ack), /*droppable=*/false);
+        return true;
+      }
+      default:
+        // Server-bound streams never carry server-push types; a client
+        // sending one is confused but not fatal.
+        SendError(conn, std::string("unexpected client message: ") +
+                            MsgTypeName(type));
+        return true;
+    }
+  }
+
+  void ReaderLoop(const std::shared_ptr<Conn>& conn) {
+    FrameDecoder decoder;
+    char buf[64 << 10];
+    for (;;) {
+      std::string error;
+      const int64_t n =
+          RecvSome(conn->sock, buf, sizeof(buf), options.retry, &error);
+      if (n <= 0) break;  // orderly close, hard error, or retry exhaustion
+      stats.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+      SOP_COUNTER_ADD("net/server/bytes_in", n);
+      decoder.Append(buf, static_cast<size_t>(n));
+      bool drop = false;
+      for (;;) {
+        std::string payload;
+        const FrameDecoder::Status status = decoder.Next(&payload, &error);
+        if (status == FrameDecoder::Status::kNeedMore) break;
+        if (status == FrameDecoder::Status::kError) {
+          // Framing lost: this connection cannot resync. Tell the client
+          // why (best effort) and drop it; the process and every other
+          // connection stay up.
+          SendError(conn, error);
+          drop = true;
+          break;
+        }
+        stats.frames_in.fetch_add(1, std::memory_order_relaxed);
+        SOP_COUNTER_ADD("net/server/frames_in", 1);
+        if (!Dispatch(conn, payload)) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) break;
+    }
+    CloseConn(conn);
+  }
+
+  void AcceptLoop() {
+    for (;;) {
+      std::string error;
+      Socket sock = AcceptTcp(listener, &error);
+      if (!sock.valid()) {
+        if (stopping.load(std::memory_order_relaxed)) return;
+        continue;  // transient accept failure; keep serving
+      }
+      if (stopping.load(std::memory_order_relaxed)) return;
+      auto conn = std::make_shared<Conn>(std::move(sock));
+      stats.connections.fetch_add(1, std::memory_order_relaxed);
+      stats.active_clients.fetch_add(1, std::memory_order_relaxed);
+      SOP_COUNTER_ADD("net/server/connections", 1);
+      SOP_GAUGE_SET(
+          "net/server/active_clients",
+          stats.active_clients.load(std::memory_order_relaxed));
+      // Register the connection before its reader can process a frame: a
+      // subscribe handled before this conn is visible in `conns` would let
+      // the next batch's emissions bypass the brand-new subscriber. Stop()
+      // joins the accept thread before it snapshots `conns`, so a conn
+      // registered here always has its threads spawned by then.
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        conns.push_back(conn);
+      }
+      conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+      conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+    }
+  }
+
+  // Fans one batch's session results out to subscribers. Returns how many
+  // emission frames were enqueued for `ingester` (reported in its ack).
+  uint64_t RouteEmissions(const std::vector<SessionResult>& results,
+                          const std::shared_ptr<Conn>& ingester) {
+    uint64_t to_ingester = 0;
+    std::vector<std::shared_ptr<Conn>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      snapshot = conns;
+    }
+    for (const SessionResult& r : results) {
+      for (const std::shared_ptr<Conn>& conn : snapshot) {
+        EmissionMsg m;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (conn->closing || conn->subs.count(r.query_id) == 0) continue;
+          m.degraded = r.degraded || conn->degraded_pending;
+          conn->degraded_pending = false;
+        }
+        m.query_id = r.query_id;
+        m.boundary = r.boundary;
+        m.outliers = r.outliers;
+        if (EnqueueFrame(conn, EncodeEmission(m), /*droppable=*/true)) {
+          stats.emissions.fetch_add(1, std::memory_order_relaxed);
+          SOP_COUNTER_ADD("net/server/emissions", 1);
+          if (conn == ingester) ++to_ingester;
+        }
+      }
+    }
+    return to_ingester;
+  }
+
+  // Saves the session to options.checkpoint_path (atomic publish),
+  // consulting the checkpoint fault sites like the engine does. `blob`
+  // was produced under session_mu by the caller.
+  void PublishCheckpoint(std::string blob) {
+    FaultInjector* injector = FaultInjector::Armed();
+    if (injector != nullptr &&
+        injector->ShouldFail(FaultSite::kCheckpointWrite)) {
+      stats.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      SOP_COUNTER_ADD("net/server/checkpoint_failures", 1);
+      return;  // skipped save; the previous checkpoint stays valid
+    }
+    if (injector != nullptr &&
+        injector->ShouldFail(FaultSite::kCheckpointBytes)) {
+      injector->CorruptBytes(&blob);  // framing catches this on restore
+    }
+    std::string error;
+    if (io::WriteFileAtomic(options.checkpoint_path, blob, &error)) {
+      stats.checkpoints.fetch_add(1, std::memory_order_relaxed);
+      SOP_COUNTER_ADD("net/server/checkpoints", 1);
+    } else {
+      stats.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      SOP_COUNTER_ADD("net/server/checkpoint_failures", 1);
+    }
+  }
+
+  void DetectLoop() {
+    for (;;) {
+      IngestOp op;
+      {
+        std::unique_lock<std::mutex> lock(ingest_mu);
+        ingest_cv_push.wait(lock, [&] {
+          return stopping.load(std::memory_order_relaxed) ||
+                 !ingest_queue.empty();
+        });
+        if (ingest_queue.empty()) return;  // stopping and drained
+        op = std::move(ingest_queue.front());
+        ingest_queue.pop_front();
+        ingest_cv_pop.notify_one();
+      }
+
+      std::vector<SessionResult> results;
+      std::string checkpoint_blob;
+      const uint64_t batch_size = op.msg.points.size();
+      bool accepted = false;
+      {
+        std::lock_guard<std::mutex> lock(session_mu);
+        // Pre-validate what SopSession::Advance would CHECK: boundaries
+        // must strictly increase. Bad wire input gets an error reply, not
+        // a process abort.
+        if (op.msg.boundary > last_boundary) {
+          accepted = true;
+          last_boundary = op.msg.boundary;
+          SOP_TRACE("net/server/advance_ms");
+          results = session->Advance(std::move(op.msg.points),
+                                     op.msg.boundary);
+          stats.ingest_batches.fetch_add(1, std::memory_order_relaxed);
+          stats.ingest_points.fetch_add(batch_size,
+                                        std::memory_order_relaxed);
+          if (!options.checkpoint_path.empty() &&
+              ++batches_since_checkpoint >=
+                  options.checkpoint_every_batches) {
+            batches_since_checkpoint = 0;
+            checkpoint_blob = session->SaveState();
+          }
+        }
+      }
+
+      if (!accepted) {
+        SendError(op.conn, "ingest boundary " +
+                               std::to_string(op.msg.boundary) +
+                               " does not advance the stream");
+        IngestAckMsg ack;
+        ack.boundary = op.msg.boundary;
+        ack.accepted = 0;
+        ack.emissions = 0;
+        EnqueueFrame(op.conn, EncodeIngestAck(ack), /*droppable=*/false);
+        continue;
+      }
+      SOP_COUNTER_ADD("net/server/ingest_batches", 1);
+
+      // Emissions first, then the ack on the same queue: a client that
+      // waits for its ack is guaranteed to have this batch's emissions
+      // already buffered ahead of it.
+      IngestAckMsg ack;
+      ack.boundary = op.msg.boundary;
+      ack.accepted = batch_size;
+      ack.emissions = RouteEmissions(results, op.conn);
+      EnqueueFrame(op.conn, EncodeIngestAck(ack), /*droppable=*/false);
+
+      if (!checkpoint_blob.empty()) {
+        PublishCheckpoint(std::move(checkpoint_blob));
+      }
+    }
+  }
+};
+
+SopServer::SopServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SopServer::~SopServer() { Stop(); }
+
+bool SopServer::Start(std::string* error) {
+  Impl& im = *impl_;
+  if (im.started) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  if (!IsKnownDetector(im.options.detector)) {
+    if (error != nullptr) *error = UnknownDetectorMessage(im.options.detector);
+    return false;
+  }
+  if (im.options.history_window <= 0 || im.options.max_send_queue == 0 ||
+      im.options.max_ingest_queue == 0 || im.options.num_threads <= 0 ||
+      im.options.checkpoint_every_batches <= 0) {
+    if (error != nullptr) *error = "server options out of range";
+    return false;
+  }
+
+  im.session = std::make_unique<SopSession>(im.options.window_type,
+                                            im.options.metric,
+                                            im.options.history_window);
+  const std::string detector_name = im.options.detector;
+  im.session->SetDetectorBuilder([detector_name](const Workload& workload) {
+    return CreateDetector(detector_name, workload);
+  });
+  im.last_boundary = INT64_MIN;
+
+  // Resume from the previous incarnation's checkpoint when one exists.
+  // Restored queries belonged to connections that no longer exist, so they
+  // are retired; the restored history and stream position remain, and a
+  // reconnecting subscriber's replay starts from them.
+  if (!im.options.checkpoint_path.empty()) {
+    std::string blob;
+    std::string read_error;
+    FaultInjector* injector = FaultInjector::Armed();
+    const bool read_failed =
+        injector != nullptr &&
+        injector->ShouldFail(FaultSite::kCheckpointRead);
+    if (!read_failed &&
+        io::ReadFileToString(im.options.checkpoint_path, &blob,
+                             &read_error)) {
+      std::string load_error;
+      if (im.session->LoadState(blob, &load_error)) {
+        for (const QueryId id : im.session->RegisteredQueryIds()) {
+          im.session->RemoveQuery(id);
+        }
+        // Boundary monotonicity resumes where the stream left off — a
+        // stale ingest must be refused, not CHECK the session.
+        im.last_boundary = im.session->last_boundary();
+        im.stats.resumed.store(true, std::memory_order_relaxed);
+        SOP_COUNTER_ADD("net/server/resumes", 1);
+      }
+      // A corrupt/mismatched checkpoint is not fatal: serve fresh.
+    }
+  }
+
+  int bound_port = 0;
+  im.listener = ListenTcp(im.options.host, im.options.port, /*backlog=*/64,
+                          &bound_port, error);
+  if (!im.listener.valid()) return false;
+  port_ = bound_port;
+
+  im.pool = std::make_unique<ThreadPool>(im.options.num_threads);
+  im.detect_done = im.pool->Submit([&im] { im.DetectLoop(); });
+  im.accept_thread = std::thread([&im] { im.AcceptLoop(); });
+  im.started = true;
+  return true;
+}
+
+void SopServer::Stop() {
+  Impl& im = *impl_;
+  if (!im.started || im.stopped) return;
+  im.stopped = true;
+  im.stopping.store(true, std::memory_order_relaxed);
+
+  // Stop accepting, then close every connection; readers stop feeding the
+  // ingest queue.
+  im.listener.ShutdownBoth();
+  if (im.accept_thread.joinable()) im.accept_thread.join();
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    conns = im.conns;
+  }
+  for (const std::shared_ptr<Conn>& conn : conns) im.CloseConn(conn);
+  {
+    std::lock_guard<std::mutex> lock(im.ingest_mu);
+    im.ingest_cv_push.notify_all();
+    im.ingest_cv_pop.notify_all();
+  }
+  // Drain the detection loop, then the per-connection threads.
+  if (im.detect_done.valid()) im.detect_done.get();
+  for (const std::shared_ptr<Conn>& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    im.conns.clear();
+  }
+  im.pool.reset();
+  im.listener.Close();
+
+  // Final checkpoint: a restart resumes from the exact stop point.
+  if (!im.options.checkpoint_path.empty() && im.session != nullptr) {
+    im.PublishCheckpoint(im.session->SaveState());
+  }
+}
+
+ServerStats SopServer::stats() const {
+  const Impl::AtomicStats& a = impl_->stats;
+  ServerStats s;
+  s.connections = a.connections.load(std::memory_order_relaxed);
+  s.active_clients = a.active_clients.load(std::memory_order_relaxed);
+  s.frames_in = a.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = a.frames_out.load(std::memory_order_relaxed);
+  s.bytes_in = a.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = a.bytes_out.load(std::memory_order_relaxed);
+  s.ingest_batches = a.ingest_batches.load(std::memory_order_relaxed);
+  s.ingest_points = a.ingest_points.load(std::memory_order_relaxed);
+  s.emissions = a.emissions.load(std::memory_order_relaxed);
+  s.shed_emissions = a.shed_emissions.load(std::memory_order_relaxed);
+  s.subscribes = a.subscribes.load(std::memory_order_relaxed);
+  s.unsubscribes = a.unsubscribes.load(std::memory_order_relaxed);
+  s.protocol_errors = a.protocol_errors.load(std::memory_order_relaxed);
+  s.checkpoints = a.checkpoints.load(std::memory_order_relaxed);
+  s.checkpoint_failures =
+      a.checkpoint_failures.load(std::memory_order_relaxed);
+  s.resumed = a.resumed.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace net
+}  // namespace sop

@@ -1,0 +1,158 @@
+// SopServer: the networked serving plane over a dynamic detection session.
+//
+// One server hosts one SopSession (core/session.h) compiled through the
+// string detector factory (detector/factory.h), and speaks the framed wire
+// protocol (net/protocol.h) over plain TCP. Three message planes:
+//
+//   ingest         clients push point batches ending at strictly
+//                  increasing window boundaries; the session advances and
+//                  the ingesting client receives an ack (its RTT is the
+//                  end-to-end ingest latency),
+//   subscriptions  clients register/retire outlier queries live
+//                  (SopSession::AddQuery/RemoveQuery with history replay,
+//                  so a fresh subscriber starts with a populated window),
+//   emissions      every due query's outliers are pushed to exactly the
+//                  clients subscribed to that query.
+//
+// This is the paper's sharing story as a service: however many clients
+// subscribe, each ingested batch runs ONE shared detector pass; emission
+// routing is just id-filtered fan-out of that single answer set.
+//
+// Threading: one accept thread, one reader and one writer thread per
+// connection, and a single detection loop hosted on the server's
+// ThreadPool (common/thread_pool.h) that serializes every session
+// operation — boundaries are global, so detection is sequential by design
+// and everything else is I/O. Readers hand ingest batches to the detection
+// loop through a bounded queue (backpressure propagates to the client's
+// TCP stream); emission delivery goes through bounded per-client send
+// queues governed by the engine's overload policies (detector/engine.h):
+// kBlock applies backpressure to the detection loop, kDropOldest sheds the
+// oldest queued emission and flags the subscriber's next emission
+// `degraded` so the gap is visible. Control replies (acks, errors) are
+// never shed.
+//
+// Resilience: socket reads/writes ride out injected transient faults with
+// bounded backoff (net/socket.h); malformed frames poison only their own
+// connection (counted, never the process); with a checkpoint path
+// configured the server periodically saves the session (atomic temp +
+// rename, CRC-framed) and a restarted server resumes from it — subscribers
+// reconnect and re-register, and emissions continue as if uninterrupted
+// (the serving analog of ExecutionEngine::RunResumed).
+//
+// Observability: net/server/* counters, gauges and histograms (see
+// DESIGN.md Sec. 13) when obs is enabled, plus an always-on ServerStats
+// snapshot for tests and tooling.
+
+#ifndef SOP_NET_SERVER_H_
+#define SOP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sop/common/distance.h"
+#include "sop/detector/engine.h"
+#include "sop/net/socket.h"
+#include "sop/stream/window.h"
+
+namespace sop {
+namespace net {
+
+/// Server configuration. Defaults serve SOP over count-based windows on an
+/// ephemeral loopback port.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+
+  /// Session configuration every client shares.
+  WindowType window_type = WindowType::kCount;
+  Metric metric = Metric::kEuclidean;
+  /// Detector factory name (KnownDetectorNames()); the session compiles
+  /// the live query set through CreateDetector(detector, workload).
+  std::string detector = "sop";
+  /// History retention for replay on workload changes, in window-key units
+  /// (see SopSession). Bound it by the largest window you intend to serve.
+  int64_t history_window = 4096;
+
+  /// Per-client send queue capacity (frames) and full-queue policy.
+  /// kDropOldest sheds only emissions, never control replies.
+  size_t max_send_queue = 256;
+  OverloadPolicy send_policy = OverloadPolicy::kBlock;
+
+  /// Bounded reader -> detection-loop ingest queue (batches). A full queue
+  /// blocks the reader, which backpressures the ingesting client's TCP
+  /// stream.
+  size_t max_ingest_queue = 64;
+
+  /// Periodic session checkpointing; empty path disables. The file is
+  /// written atomically every `checkpoint_every_batches` advanced batches
+  /// and restored (if present and valid) by Start().
+  std::string checkpoint_path;
+  int64_t checkpoint_every_batches = 64;
+
+  /// Worker threads on the server's pool (hosts the detection loop).
+  int num_threads = 1;
+
+  /// Backoff schedule for injected transient socket faults.
+  NetRetryOptions retry;
+};
+
+/// Monotonic counters since Start(), readable at any time (independent of
+/// the obs layer, which may be compiled out).
+struct ServerStats {
+  uint64_t connections = 0;        // accepted sockets, lifetime
+  uint64_t active_clients = 0;     // currently connected
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t ingest_batches = 0;     // batches advanced through the session
+  uint64_t ingest_points = 0;
+  uint64_t emissions = 0;          // emission frames enqueued to clients
+  uint64_t shed_emissions = 0;     // emission frames dropped under overload
+  uint64_t subscribes = 0;
+  uint64_t unsubscribes = 0;
+  uint64_t protocol_errors = 0;    // malformed frames / messages / plans
+  uint64_t checkpoints = 0;        // checkpoint files published
+  uint64_t checkpoint_failures = 0;
+  bool resumed = false;            // Start() restored a session checkpoint
+};
+
+/// The serving endpoint. Start() binds and serves until Stop() (or
+/// destruction). Thread-safe: Start/Stop from one controlling thread;
+/// stats() from anywhere.
+class SopServer {
+ public:
+  explicit SopServer(ServerOptions options);
+  ~SopServer();
+
+  SopServer(const SopServer&) = delete;
+  SopServer& operator=(const SopServer&) = delete;
+
+  /// Binds, restores a session checkpoint when configured and present,
+  /// and spawns the serving threads. Returns false with `*error` set on
+  /// bad configuration or bind failure.
+  bool Start(std::string* error);
+
+  /// Drains and joins everything; idempotent. Connected clients see an
+  /// orderly close. With checkpointing configured, a final checkpoint is
+  /// written so a restart resumes from the exact stop point.
+  void Stop();
+
+  /// The bound TCP port (valid after Start()).
+  int port() const { return port_; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int port_ = 0;
+};
+
+}  // namespace net
+}  // namespace sop
+
+#endif  // SOP_NET_SERVER_H_

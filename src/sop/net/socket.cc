@@ -1,0 +1,190 @@
+#include "sop/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "sop/common/fault.h"
+#include "sop/obs/trace.h"
+
+namespace sop {
+namespace net {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+// Consults the armed injector at `site`; retries injected transient
+// failures with bounded backoff. Returns false when the retry budget is
+// exhausted (treated as a hard connection failure by the caller).
+bool RideOutInjectedFaults(FaultSite site, const NetRetryOptions& retry,
+                           std::string* error) {
+  FaultInjector* injector = FaultInjector::Armed();
+  if (injector == nullptr) return true;
+  int attempt = 1;
+  int backoff_us = retry.backoff_initial_us;
+  while (injector->ShouldFail(site)) {
+    SOP_COUNTER_ADD("net/retries", 1);
+    ++attempt;
+    if (attempt > retry.max_attempts) {
+      if (error != nullptr) {
+        *error = std::string("injected ") + FaultSiteName(site) +
+                 " failure persisted through retries";
+      }
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, retry.backoff_max_us);
+  }
+  return true;
+}
+
+bool ParseAddress(const std::string& host, int port, sockaddr_in* addr,
+                  std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad IPv4 address '" + host + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket ListenTcp(const std::string& host, int port, int backlog,
+                 int* bound_port, std::string* error) {
+  sockaddr_in addr;
+  if (!ParseAddress(host, port, &addr, error)) return Socket();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    Fail(error, "socket");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Fail(error, "bind " + host + ":" + std::to_string(port));
+    return Socket();
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    Fail(error, "listen");
+    return Socket();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      Fail(error, "getsockname");
+      return Socket();
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Socket AcceptTcp(const Socket& listener, std::string* error) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    Fail(error, "accept");
+    return Socket();
+  }
+}
+
+Socket ConnectTcp(const std::string& host, int port, std::string* error) {
+  sockaddr_in addr;
+  if (!ParseAddress(host, port, &addr, error)) return Socket();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    Fail(error, "socket");
+    return Socket();
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Fail(error, "connect " + host + ":" + std::to_string(port));
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+int64_t RecvSome(const Socket& sock, char* buf, size_t cap,
+                 const NetRetryOptions& retry, std::string* error) {
+  if (!RideOutInjectedFaults(FaultSite::kNetRead, retry, error)) return -1;
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), buf, cap, 0);
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    Fail(error, "recv");
+    return -1;
+  }
+}
+
+bool SendAll(const Socket& sock, const std::string& bytes,
+             const NetRetryOptions& retry, std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    if (!RideOutInjectedFaults(FaultSite::kNetWrite, retry, error)) {
+      return false;
+    }
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+    // process with SIGPIPE.
+    const ssize_t n = ::send(sock.fd(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Fail(error, "send");
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace sop

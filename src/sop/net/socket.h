@@ -1,0 +1,85 @@
+// Thin POSIX TCP helpers shared by SopServer and SopClient: RAII fd
+// ownership, full-buffer sends, and recv/send wrappers that consult the
+// armed FaultInjector (common/fault.h) at the net-read / net-write sites.
+//
+// Injected failures model transient socket errors (EINTR, brief EAGAIN):
+// the wrappers retry with bounded exponential backoff, mirroring the
+// engine's source/sink retry discipline (detector/engine.h). Exhausted
+// retries — and every real socket error — surface as an ordinary failure
+// return: unlike the engine, the serving layer must never abort the
+// process because one connection went bad.
+//
+// Everything here is exception-free and errno-based; error strings carry
+// strerror text for logs.
+
+#ifndef SOP_NET_SOCKET_H_
+#define SOP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sop {
+namespace net {
+
+/// Bounded exponential backoff for injected transient socket failures
+/// (field meanings as in RetryOptions, detector/engine.h).
+struct NetRetryOptions {
+  int max_attempts = 8;
+  int backoff_initial_us = 50;
+  int backoff_max_us = 5000;
+};
+
+/// Owning file-descriptor wrapper. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// shutdown(2) both directions — unblocks any thread inside recv/send on
+  /// this socket (the close path readers/writers rely on).
+  void ShutdownBoth();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to `host:port` (port 0 picks an
+/// ephemeral port; *bound_port reports the actual one). Returns an invalid
+/// Socket with `*error` set on failure.
+Socket ListenTcp(const std::string& host, int port, int backlog,
+                 int* bound_port, std::string* error);
+
+/// Accepts one connection. Returns an invalid Socket on failure (including
+/// the listener being shut down, the normal stop path).
+Socket AcceptTcp(const Socket& listener, std::string* error);
+
+/// Connects to `host:port`. Returns an invalid Socket with `*error` set on
+/// failure.
+Socket ConnectTcp(const std::string& host, int port, std::string* error);
+
+/// Receives up to `cap` bytes into `buf`. Returns the byte count, 0 on
+/// orderly peer close, or -1 on error (with `*error` set). Consults the
+/// injector at net-read: injected failures are retried with backoff;
+/// exhausting the retry budget reports an error.
+int64_t RecvSome(const Socket& sock, char* buf, size_t cap,
+                 const NetRetryOptions& retry, std::string* error);
+
+/// Sends all of `bytes`, looping over short writes. Consults the injector
+/// at net-write per send(2) call. Returns false on error or a closed peer.
+bool SendAll(const Socket& sock, const std::string& bytes,
+             const NetRetryOptions& retry, std::string* error);
+
+}  // namespace net
+}  // namespace sop
+
+#endif  // SOP_NET_SOCKET_H_

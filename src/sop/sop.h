@@ -13,6 +13,10 @@
 //                          detector/driver.h)
 //   * Dynamic workloads    SopSession: add/remove queries on a live stream
 //                          (core/session.h)
+//   * Serving              SopServer / SopClient: the shared session over
+//                          TCP — subscribe queries, push batches, receive
+//                          per-subscription emissions (net/server.h,
+//                          net/client.h)
 //   * Measuring            RunMetrics (detector/metrics.h) and the
 //                          observability registry, instrumentation macros
 //                          and exporters (obs/)
@@ -41,6 +45,8 @@
 #include "sop/gen/workload_gen.h"
 #include "sop/io/csv.h"
 #include "sop/io/workload_parser.h"
+#include "sop/net/client.h"
+#include "sop/net/server.h"
 #include "sop/obs/export.h"
 #include "sop/obs/metrics.h"
 #include "sop/obs/trace.h"

@@ -1,10 +1,12 @@
 // Tests of the stream driver: batch slicing, emission accounting, metrics.
 
 #include <memory>
+#include <string>
 
 #include "gtest/gtest.h"
 #include "sop/detector/detector.h"
 #include "sop/detector/driver.h"
+#include "sop/detector/factory.h"
 #include "sop/detector/metrics.h"
 #include "test_util.h"
 
@@ -136,6 +138,18 @@ TEST(MetricsTest, AccumulatorAveragesPerWindow) {
   EXPECT_EQ(m.total_outliers, 5u);
   EXPECT_EQ(m.total_points, 30);
   EXPECT_FALSE(m.ToString().empty());
+}
+
+// The diagnostic sop_cli and sop_server print for a rejected --detector:
+// one line, naming the offender and every detector the factory knows.
+TEST(DriverTest, UnknownDetectorMessageListsEveryName) {
+  const std::string msg = UnknownDetectorMessage("bogus");
+  EXPECT_NE(msg.find("unknown detector 'bogus'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("known detectors"), std::string::npos) << msg;
+  for (const std::string& name : KnownDetectorNames()) {
+    EXPECT_NE(msg.find(name), std::string::npos) << msg;
+  }
+  EXPECT_EQ(msg.find('\n'), std::string::npos) << "must be one line";
 }
 
 }  // namespace

@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # check.sh: build the full tree under AddressSanitizer+UBSan and run the
-# test suite, then run the resilience suites (fault injection, crash
-# recovery, engine pipelining) under ThreadSanitizer, then build and run
-# everything again with the observability layer compiled out
-# (-DSOP_NO_OBS) to keep the no-op macro expansions honest. Catches the
-# memory bugs the release build hides (the thread pool and the grid
-# scratch buffers in particular) and the ingest/worker races the overload
-# queue could hide.
+# test suite, then run the concurrency-heavy suites (fault injection,
+# crash recovery, engine pipelining, the serving plane) under
+# ThreadSanitizer, then build and run everything again with the
+# observability layer compiled out (-DSOP_NO_OBS) to keep the no-op macro
+# expansions honest. Catches the memory bugs the release build hides (the
+# thread pool and the grid scratch buffers in particular) and the
+# ingest/worker/connection races the overload queue and the server's
+# per-connection threads could hide.
 #
-# The asan pass also stretches the checkpoint-corruption fuzz loop in
-# recovery_test to ~2s (SOP_FUZZ_MS); the fuzz seed is randomized per run
-# and printed by the test, so a failing run can be replayed exactly with
+# The asan pass also stretches the corruption fuzz loops — the checkpoint
+# fuzz in recovery_test and the wire-frame fuzz in protocol_test — to ~2s
+# each (SOP_FUZZ_MS); fuzz seeds are randomized per run and printed by the
+# tests, so a failing run can be replayed exactly with
 # SOP_FUZZ_SEED=<seed> tools/check.sh.
+#
+# Every cmake configure is checked explicitly so a broken preset or
+# missing dependency fails the run immediately with a clear message,
+# instead of surfacing later as a confusing build or ctest error.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -20,14 +26,22 @@ cd "$(dirname "$0")/.."
 
 export SOP_FUZZ_MS="${SOP_FUZZ_MS:-2000}"
 
-cmake --preset asan
+configure() {
+  local preset="$1"
+  cmake --preset "$preset" || {
+    echo "check.sh: cmake configure failed for preset '$preset'" >&2
+    exit 1
+  }
+}
+
+configure asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan -j"$(nproc)" "$@"
 
-cmake --preset tsan
+configure tsan
 cmake --build --preset tsan -j"$(nproc)"
-ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test' "$@"
+ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test' "$@"
 
-cmake --preset noobs
+configure noobs
 cmake --build --preset noobs -j"$(nproc)"
 ctest --preset noobs -j"$(nproc)" "$@"

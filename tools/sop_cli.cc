@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
       detectors = SplitCommas(next());
       for (const std::string& name : detectors) {
         if (!IsKnownDetector(name)) {
-          std::fprintf(stderr, "unknown detector: %s\n", name.c_str());
+          std::fprintf(stderr, "%s\n", UnknownDetectorMessage(name).c_str());
           return 2;
         }
       }

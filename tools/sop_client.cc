@@ -1,0 +1,256 @@
+// sop_client: subscribe outlier queries on a running sop_server and stream
+// a point file through it, printing every emission.
+//
+// Usage:
+//   sop_client --port P [--host H] --subscribe R,K,WIN,SLIDE [...]
+//              --data points.csv [--batch B | --span S] [--max-print N]
+//
+// The client subscribes every --subscribe query (repeatable; parameters
+// match one workload spec line), then slices the CSV stream into ingest
+// batches the same way ExecutionEngine slices its input: count windows cut
+// every B points with the cumulative point count as the boundary; time
+// windows cut at multiples of S (default: the gcd of the subscribed
+// slides), advancing through empty spans. Each batch's emissions are
+// printed as they arrive — the server delivers them ahead of the batch's
+// ack, so output is in stream order.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sop/io/csv.h"
+#include "sop/net/client.h"
+#include "sop/stream/window.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port P [--host H] --subscribe R,K,WIN,SLIDE [...]\n"
+      "          --data points.csv [--batch B | --span S] [--max-print N]\n",
+      argv0);
+}
+
+bool ParseQuery(const std::string& spec, sop::OutlierQuery* query) {
+  double r = 0.0;
+  long long k = 0, win = 0, slide = 0;
+  if (std::sscanf(spec.c_str(), "%lf,%lld,%lld,%lld", &r, &k, &win,
+                  &slide) != 4) {
+    return false;
+  }
+  query->r = r;
+  query->k = k;
+  query->win = win;
+  query->slide = slide;
+  query->attribute_set = 0;
+  return true;
+}
+
+void PrintEmissions(sop::net::SopClient* client, int64_t max_print,
+                    int64_t* printed, uint64_t* total) {
+  for (const sop::net::EmissionMsg& e : client->TakeEmissions()) {
+    ++*total;
+    if (e.outliers.empty() || *printed >= max_print) continue;
+    ++*printed;
+    std::printf("query %lld @ %lld:%s", static_cast<long long>(e.query_id),
+                static_cast<long long>(e.boundary),
+                e.degraded ? " (degraded)" : "");
+    size_t shown = 0;
+    for (const sop::Seq s : e.outliers) {
+      if (++shown > 16) {
+        std::printf(" ... (%zu total)", e.outliers.size());
+        break;
+      }
+      std::printf(" %lld", static_cast<long long>(s));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sop;
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string data_path;
+  std::vector<OutlierQuery> queries;
+  int64_t batch = 128;
+  int64_t span = 0;
+  int64_t max_print = 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--data") {
+      data_path = next();
+    } else if (arg == "--subscribe") {
+      OutlierQuery query;
+      const char* spec = next();
+      if (!ParseQuery(spec, &query)) {
+        std::fprintf(stderr, "--subscribe: expect R,K,WIN,SLIDE, got '%s'\n",
+                     spec);
+        return 2;
+      }
+      queries.push_back(query);
+    } else if (arg == "--batch") {
+      batch = std::atoll(next());
+      if (batch <= 0) {
+        std::fprintf(stderr, "--batch must be positive\n");
+        return 2;
+      }
+    } else if (arg == "--span") {
+      span = std::atoll(next());
+      if (span <= 0) {
+        std::fprintf(stderr, "--span must be positive\n");
+        return 2;
+      }
+    } else if (arg == "--max-print") {
+      max_print = std::atoll(next());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0 || data_path.empty() || queries.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<Point> points;
+  std::string error;
+  if (!io::LoadPointsCsv(data_path, &points, &error)) {
+    std::fprintf(stderr, "data error: %s\n", error.c_str());
+    return 1;
+  }
+  if (points.empty()) {
+    std::fprintf(stderr, "data error: %s yielded no points\n",
+                 data_path.c_str());
+    return 1;
+  }
+
+  net::SopClient client;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "connect error: %s\n", error.c_str());
+    return 1;
+  }
+  const bool count_windows =
+      client.server_info().window_type ==
+      static_cast<uint32_t>(WindowType::kCount);
+  std::fprintf(stderr, "connected: detector '%s', %s windows\n",
+               client.server_info().detector.c_str(),
+               count_windows ? "count" : "time");
+
+  std::vector<int64_t> ids;
+  for (const OutlierQuery& query : queries) {
+    const int64_t id = client.Subscribe(query, &error);
+    if (id == 0) {
+      std::fprintf(stderr, "subscribe error: %s\n", error.c_str());
+      return 1;
+    }
+    ids.push_back(id);
+    std::fprintf(stderr, "subscribed query %lld (r=%g k=%lld win=%lld "
+                 "slide=%lld)\n",
+                 static_cast<long long>(id), query.r,
+                 static_cast<long long>(query.k),
+                 static_cast<long long>(query.win),
+                 static_cast<long long>(query.slide));
+  }
+
+  int64_t printed = 0;
+  uint64_t total_emissions = 0;
+  uint64_t batches = 0;
+  auto ship = [&](std::vector<Point> chunk, int64_t boundary) -> bool {
+    net::IngestAckMsg ack;
+    if (!client.Ingest(boundary, chunk, &ack, &error)) {
+      std::fprintf(stderr, "ingest error: %s\n", error.c_str());
+      return false;
+    }
+    if (ack.accepted != chunk.size()) {
+      for (const net::ErrorMsg& e : client.TakeErrors()) {
+        std::fprintf(stderr, "server: %s\n", e.message.c_str());
+      }
+      return false;
+    }
+    ++batches;
+    PrintEmissions(&client, max_print, &printed, &total_emissions);
+    return true;
+  };
+
+  bool ok = true;
+  if (count_windows) {
+    // Count windows: cut every --batch points, boundary = cumulative count
+    // (the same slicing ExecutionEngine uses with batch_span = SlideGcd),
+    // offset by the server's stream position (boundaries are global).
+    int64_t shipped = client.server_info().last_boundary == INT64_MIN
+                          ? 0
+                          : client.server_info().last_boundary;
+    for (size_t start = 0; ok && start < points.size();
+         start += static_cast<size_t>(batch)) {
+      const size_t end =
+          std::min(points.size(), start + static_cast<size_t>(batch));
+      shipped += static_cast<int64_t>(end - start);
+      ok = ship(std::vector<Point>(points.begin() + start,
+                                   points.begin() + end),
+                shipped);
+    }
+  } else {
+    // Time windows: cut at multiples of --span (default: subscribed slide
+    // gcd), advancing through empty spans, exactly like the engine.
+    if (span == 0) {
+      span = 0;
+      for (const OutlierQuery& query : queries) {
+        span = span == 0 ? query.slide : std::gcd(span, query.slide);
+      }
+    }
+    int64_t boundary = FirstBoundaryAtOrAfter(points.front().time + 1, span);
+    std::vector<Point> chunk;
+    for (size_t i = 0; ok && i < points.size(); ++i) {
+      while (points[i].time >= boundary) {
+        ok = ship(std::move(chunk), boundary);
+        chunk.clear();
+        boundary += span;
+        if (!ok) break;
+      }
+      if (ok) chunk.push_back(points[i]);
+    }
+    if (ok && !chunk.empty()) ok = ship(std::move(chunk), boundary);
+  }
+  if (!ok) return 1;
+
+  for (const int64_t id : ids) {
+    if (!client.Unsubscribe(id, &error)) {
+      std::fprintf(stderr, "unsubscribe error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "streamed %zu points in %llu batches; %llu emissions "
+               "(sent %llu bytes, received %llu)\n",
+               points.size(), static_cast<unsigned long long>(batches),
+               static_cast<unsigned long long>(total_emissions),
+               static_cast<unsigned long long>(client.bytes_sent()),
+               static_cast<unsigned long long>(client.bytes_received()));
+  return 0;
+}

@@ -1,22 +1,37 @@
 // sop_datagen: materialize benchmark datasets and workload specs to disk,
-// for use with sop_cli or external tooling.
+// or stream points at a controlled rate for serving-plane load tests.
 //
 // Usage:
 //   sop_datagen --kind synthetic|stt --n N --out points.csv [--seed S]
 //               [--dims D] [--outlier-rate F]
+//   sop_datagen --kind synthetic|stt --n N --out - [--rate P] [--batch B]
+//   sop_datagen --kind synthetic|stt --n N --connect HOST:PORT
+//               [--rate P] [--batch B]
 //   sop_datagen --kind workload --case A..G --queries Q --out spec.txt
 //               [--seed S] [--window-type count|time]
+//
+// Streaming modes: `--out -` writes CSV to stdout in --batch sized chunks;
+// `--connect` speaks the sop wire protocol (net/client.h) and pushes each
+// chunk as one ingest batch, deriving boundaries from the server's window
+// type (cumulative point count, or point time). `--rate P` paces either
+// mode to P points/second against absolute deadlines, so jitter does not
+// accumulate; 0 (default) streams at full speed.
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "sop/gen/stt.h"
 #include "sop/gen/synthetic.h"
 #include "sop/gen/workload_gen.h"
 #include "sop/io/csv.h"
 #include "sop/io/workload_parser.h"
+#include "sop/net/client.h"
 
 namespace {
 
@@ -25,9 +40,112 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --kind synthetic|stt --n N --out points.csv [--seed S]\n"
       "          [--dims D] [--outlier-rate F]\n"
+      "       %s --kind synthetic|stt --n N (--out - | --connect HOST:PORT)\n"
+      "          [--rate POINTS_PER_SEC] [--batch B]\n"
       "       %s --kind workload --case A..G --queries Q --out spec.txt\n"
       "          [--seed S] [--window-type count|time]\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
+}
+
+// Paces a stream to `rate` points/sec against absolute deadlines.
+class Throttle {
+ public:
+  explicit Throttle(double rate)
+      : rate_(rate), start_(std::chrono::steady_clock::now()) {}
+
+  // Blocks until `emitted` points are allowed to have left.
+  void Wait(int64_t emitted) const {
+    if (rate_ <= 0.0) return;
+    const auto deadline =
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(emitted / rate_));
+    std::this_thread::sleep_until(deadline);
+  }
+
+ private:
+  double rate_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+bool SplitHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = std::atoi(spec.c_str() + colon + 1);
+  return *port > 0 && *port < 65536;
+}
+
+// Streams `points` to stdout as CSV in `batch` sized chunks under `throttle`.
+int StreamToStdout(const std::vector<sop::Point>& points, size_t batch,
+                   const Throttle& throttle) {
+  int64_t emitted = 0;
+  for (size_t start = 0; start < points.size(); start += batch) {
+    const size_t end = std::min(points.size(), start + batch);
+    const std::vector<sop::Point> chunk(points.begin() + start,
+                                        points.begin() + end);
+    const std::string csv = sop::io::FormatPointsCsv(chunk);
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
+    std::fflush(stdout);
+    emitted += static_cast<int64_t>(chunk.size());
+    throttle.Wait(emitted);
+  }
+  std::fprintf(stderr, "streamed %lld points to stdout\n",
+               static_cast<long long>(emitted));
+  return 0;
+}
+
+// Streams `points` to a sop server as ingest batches under `throttle`.
+int StreamToServer(const std::vector<sop::Point>& points,
+                   const std::string& host, int port, size_t batch,
+                   const Throttle& throttle) {
+  using namespace sop;
+  net::SopClient client;
+  std::string error;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "connect error: %s\n", error.c_str());
+    return 1;
+  }
+  const bool count_windows =
+      client.server_info().window_type ==
+      static_cast<uint32_t>(WindowType::kCount);
+  // The stream is shared: continue from wherever the server already is.
+  const int64_t base = client.server_info().last_boundary == INT64_MIN
+                           ? 0
+                           : client.server_info().last_boundary;
+  int64_t emitted = 0;
+  int64_t boundary = base;
+  uint64_t batches = 0;
+  for (size_t start = 0; start < points.size(); start += batch) {
+    const size_t end = std::min(points.size(), start + batch);
+    const std::vector<Point> chunk(points.begin() + start,
+                                   points.begin() + end);
+    emitted += static_cast<int64_t>(chunk.size());
+    // Count windows key on cumulative arrival count; time windows on point
+    // time (strictly advanced so back-to-back batches at one timestamp
+    // still make progress).
+    boundary = count_windows
+                   ? base + emitted
+                   : std::max(boundary + 1, chunk.back().time + 1);
+    net::IngestAckMsg ack;
+    if (!client.Ingest(boundary, chunk, &ack, &error)) {
+      std::fprintf(stderr, "ingest error: %s\n", error.c_str());
+      return 1;
+    }
+    if (ack.accepted != chunk.size()) {
+      for (const net::ErrorMsg& e : client.TakeErrors()) {
+        std::fprintf(stderr, "server: %s\n", e.message.c_str());
+      }
+      return 1;
+    }
+    ++batches;
+    throttle.Wait(emitted);
+  }
+  std::fprintf(stderr, "streamed %lld points in %llu batches to %s:%d\n",
+               static_cast<long long>(emitted),
+               static_cast<unsigned long long>(batches), host.c_str(), port);
+  return 0;
 }
 
 }  // namespace
@@ -37,6 +155,7 @@ int main(int argc, char** argv) {
 
   std::string kind;
   std::string out_path;
+  std::string connect_spec;
   std::string wcase_name = "G";
   std::string window_type_name = "count";
   int64_t n = 0;
@@ -44,6 +163,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   int dims = 2;
   double outlier_rate = 0.03;
+  double rate = 0.0;
+  size_t batch = 128;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +181,21 @@ int main(int argc, char** argv) {
       n = std::atoll(next());
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--connect") {
+      connect_spec = next();
+    } else if (arg == "--rate") {
+      rate = std::atof(next());
+      if (rate < 0.0) {
+        std::fprintf(stderr, "--rate must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--batch") {
+      const int64_t b = std::atoll(next());
+      if (b <= 0) {
+        std::fprintf(stderr, "--batch must be positive\n");
+        return 2;
+      }
+      batch = static_cast<size_t>(b);
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--dims") {
@@ -81,7 +217,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (out_path.empty()) {
+  if (out_path.empty() && connect_spec.empty()) {
     Usage(argv[0]);
     return 2;
   }
@@ -104,6 +240,19 @@ int main(int argc, char** argv) {
       options.seed = seed;
       options.anomaly_rate = outlier_rate;
       points = gen::GenerateStt(n, options);
+    }
+    const Throttle throttle(rate);
+    if (!connect_spec.empty()) {
+      std::string host;
+      int port = 0;
+      if (!SplitHostPort(connect_spec, &host, &port)) {
+        std::fprintf(stderr, "--connect expects HOST:PORT\n");
+        return 2;
+      }
+      return StreamToServer(points, host, port, batch, throttle);
+    }
+    if (out_path == "-") {
+      return StreamToStdout(points, batch, throttle);
     }
     if (!io::SavePointsCsv(out_path, points, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());

@@ -1,0 +1,245 @@
+// sop_server: serve shared outlier detection over TCP.
+//
+// Usage:
+//   sop_server [--host H] [--port P] [--detector NAME]
+//              [--window-type count|time] [--metric euclidean|manhattan]
+//              [--history-window N] [--send-queue N]
+//              [--overload block|drop-oldest] [--ingest-queue N]
+//              [--checkpoint PATH] [--checkpoint-every N] [--threads N]
+//              [--metrics] [--fault-rate SITE=RATE[,...]] [--fault-seed S]
+//              [--fault-max N]
+//
+// Hosts one shared SopSession behind the sop wire protocol (DESIGN.md
+// Sec. 13): clients ingest point batches, subscribe/unsubscribe outlier
+// queries live, and receive per-query emissions. Runs until SIGINT or
+// SIGTERM, then shuts down cleanly (final checkpoint included when
+// --checkpoint is set; a restarted server resumes from it). Prints the
+// bound port on stdout — `--port 0` picks an ephemeral one, which scripts
+// capture from that line.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sop/common/fault.h"
+#include "sop/detector/factory.h"
+#include "sop/net/server.h"
+#include "sop/obs/export.h"
+#include "sop/obs/metrics.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--detector NAME]\n"
+      "          [--window-type count|time] [--metric euclidean|manhattan]\n"
+      "          [--history-window N] [--send-queue N]\n"
+      "          [--overload block|drop-oldest] [--ingest-queue N]\n"
+      "          [--checkpoint PATH] [--checkpoint-every N] [--threads N]\n"
+      "          [--metrics] [--fault-rate SITE=RATE[,...]] [--fault-seed S]\n"
+      "          [--fault-max N]\n",
+      argv0);
+}
+
+bool ParseFaultRate(const std::string& spec, sop::FaultInjector* injector) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string site_name = spec.substr(0, eq);
+  char* end = nullptr;
+  const double rate = std::strtod(spec.c_str() + eq + 1, &end);
+  if (end == nullptr || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    return false;
+  }
+  for (int i = 0; i < sop::kNumFaultSites; ++i) {
+    const auto site = static_cast<sop::FaultSite>(i);
+    if (site_name == sop::FaultSiteName(site)) {
+      injector->SetRate(site, rate);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sop;
+
+  net::ServerOptions options;
+  bool want_metrics = false;
+  std::vector<std::string> fault_specs;
+  uint64_t fault_seed = 1;
+  int64_t fault_max = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--detector") {
+      options.detector = next();
+      if (!IsKnownDetector(options.detector)) {
+        std::fprintf(stderr, "%s\n",
+                     UnknownDetectorMessage(options.detector).c_str());
+        return 2;
+      }
+    } else if (arg == "--window-type") {
+      const std::string name = next();
+      if (name == "count") {
+        options.window_type = WindowType::kCount;
+      } else if (name == "time") {
+        options.window_type = WindowType::kTime;
+      } else {
+        std::fprintf(stderr, "--window-type: expect count|time\n");
+        return 2;
+      }
+    } else if (arg == "--metric") {
+      const std::string name = next();
+      if (name == "euclidean") {
+        options.metric = Metric::kEuclidean;
+      } else if (name == "manhattan") {
+        options.metric = Metric::kManhattan;
+      } else {
+        std::fprintf(stderr, "--metric: expect euclidean|manhattan\n");
+        return 2;
+      }
+    } else if (arg == "--history-window") {
+      options.history_window = std::atoll(next());
+    } else if (arg == "--send-queue") {
+      options.max_send_queue = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--overload") {
+      const std::string policy = next();
+      if (policy == "block") {
+        options.send_policy = OverloadPolicy::kBlock;
+      } else if (policy == "drop-oldest") {
+        options.send_policy = OverloadPolicy::kDropOldest;
+      } else {
+        std::fprintf(stderr, "--overload: unknown policy '%s'\n",
+                     policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--ingest-queue") {
+      options.max_ingest_queue = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      options.checkpoint_every_batches = std::atoll(next());
+    } else if (arg == "--threads") {
+      options.num_threads = std::atoi(next());
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg == "--fault-rate") {
+      for (const std::string& spec : SplitCommas(next())) {
+        fault_specs.push_back(spec);
+      }
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault-max") {
+      fault_max = std::atoll(next());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  FaultInjector injector(fault_seed);
+  bool inject = false;
+  for (const std::string& spec : fault_specs) {
+    if (!ParseFaultRate(spec, &injector)) {
+      std::fprintf(stderr, "--fault-rate: bad site=rate spec '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    inject = true;
+  }
+  if (inject) {
+    if (fault_max >= 0) {
+      for (int i = 0; i < kNumFaultSites; ++i) {
+        injector.SetMaxFailures(static_cast<FaultSite>(i), fault_max);
+      }
+    }
+    std::fprintf(stderr, "fault injection armed (seed %llu)\n",
+                 static_cast<unsigned long long>(fault_seed));
+    FaultInjector::Arm(&injector);
+  }
+  if (want_metrics) {
+    obs::SetEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+  }
+
+  net::SopServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start error: %s\n", error.c_str());
+    return 1;
+  }
+  // Scripts parse this line to find an ephemeral port.
+  std::printf("serving detector '%s' (%s windows) on %s:%d\n",
+              options.detector.c_str(),
+              options.window_type == WindowType::kCount ? "count" : "time",
+              options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    // Signal-driven: nothing to do but wait.
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  server.Stop();
+
+  const net::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu connections, %llu batches (%llu points), "
+               "%llu emissions (%llu shed), %llu protocol errors, "
+               "%llu checkpoints\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.ingest_batches),
+               static_cast<unsigned long long>(stats.ingest_points),
+               static_cast<unsigned long long>(stats.emissions),
+               static_cast<unsigned long long>(stats.shed_emissions),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.checkpoints));
+  if (want_metrics) {
+    const obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
+    std::fprintf(stderr, "%s\n", obs::ToJson(snap).c_str());
+  }
+  if (inject) FaultInjector::Disarm();
+  return 0;
+}
