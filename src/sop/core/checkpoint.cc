@@ -21,7 +21,11 @@ namespace {
 
 constexpr uint32_t kMagic = 0x53'4f'50'43;  // "SOPC"
 // v2: payload framed (CRC + length) by common/frame.h.
-constexpr uint32_t kFormatVersion = 2;
+// v3: the plan basis rides along. Skyband layers are only meaningful
+//     relative to the basis they were built under, and after overlay
+//     swaps (or headroom) that basis is not derivable from the current
+//     workload — the restoring detector adopts the serialized one.
+constexpr uint32_t kFormatVersion = 3;
 
 bool LoadError(std::string* error, const char* what) {
   if (error != nullptr) *error = std::string("sop checkpoint: ") + what;
@@ -36,6 +40,22 @@ std::string SopDetector::SaveState() const {
   w.WriteU32(kFormatVersion);
   w.WriteU64(plan_.workload().Fingerprint());
   w.WriteI64(last_boundary_);
+
+  // Evidence basis (v3).
+  const WorkloadPlan::Basis& basis = plan_.basis();
+  w.WriteU64(basis.layer_r.size());
+  for (const double r : basis.layer_r) w.WriteDouble(r);
+  w.WriteI64(basis.win);
+  w.WriteU64(basis.max_layer_for_count.size());
+  for (const int layer : basis.max_layer_for_count) {
+    w.WriteU32(static_cast<uint32_t>(layer));
+  }
+  w.WriteU64(basis.safety_requirements.size());
+  for (const WorkloadPlan::SafetyRequirement& req :
+       basis.safety_requirements) {
+    w.WriteU32(static_cast<uint32_t>(req.layer));
+    w.WriteI64(req.k);
+  }
 
   // Alive points.
   w.WriteI64(buffer_.first_seq());
@@ -90,6 +110,44 @@ bool SopDetector::LoadState(std::string_view bytes, std::string* error) {
   }
   if (!r.ReadI64(&last_boundary_)) {
     return LoadError(error, "truncated payload");
+  }
+
+  // Adopt the serialized basis: the saved skyband layers are indices into
+  // *its* layer set, which may be wider than what this detector compiled
+  // from the (fingerprint-matching) workload — e.g. the saved detector
+  // carried headroom or went through overlay swaps.
+  WorkloadPlan::Basis basis;
+  uint64_t n_layers = 0, n_counts = 0, n_reqs = 0;
+  if (!r.ReadU64(&n_layers)) return LoadError(error, "truncated basis");
+  basis.layer_r.resize(n_layers);
+  for (double& v : basis.layer_r) {
+    if (!r.ReadDouble(&v)) return LoadError(error, "truncated basis");
+  }
+  if (!r.ReadI64(&basis.win) || !r.ReadU64(&n_counts)) {
+    return LoadError(error, "truncated basis");
+  }
+  basis.max_layer_for_count.resize(n_counts);
+  for (int& layer : basis.max_layer_for_count) {
+    uint32_t v = 0;
+    if (!r.ReadU32(&v)) return LoadError(error, "truncated basis");
+    layer = static_cast<int>(v);
+  }
+  if (!r.ReadU64(&n_reqs)) return LoadError(error, "truncated basis");
+  basis.safety_requirements.resize(n_reqs);
+  for (WorkloadPlan::SafetyRequirement& req : basis.safety_requirements) {
+    uint32_t layer = 0;
+    if (!r.ReadU32(&layer) || !r.ReadI64(&req.k)) {
+      return LoadError(error, "truncated basis");
+    }
+    req.layer = static_cast<int>(layer);
+  }
+  if (basis != plan_.basis()) {
+    if (!plan_.AdoptBasis(std::move(basis))) {
+      return LoadError(error, "basis invalid or does not cover workload");
+    }
+    // The per-layer scratch tables are sized to the basis.
+    ksky_.SyncPlanGeometry();
+    emit_counts_.Reset(plan_.num_layers());
   }
 
   int64_t first_seq = 0;

@@ -1,5 +1,7 @@
 #include "sop/core/session.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sop/common/check.h"
@@ -48,29 +50,107 @@ void SopSession::SetDetectorBuilder(DetectorBuilder builder) {
   dirty_ = true;
 }
 
-void SopSession::Rebuild(int64_t up_to_boundary) {
-  SOP_TRACE("session/rebuild_ms");
-  SOP_COUNTER_ADD("session/rebuilds", 1);
-  detector_.reset();
-  detector_query_ids_.clear();
-  dirty_ = false;
-  if (registered_.empty()) return;
+void SopSession::UseSopDetector(SopDetector::Options options) {
+  builder_ = nullptr;
+  sop_options_ = options;
+  sop_options_.headroom = PlanHeadroom();  // the session owns headroom
+  dirty_ = true;
+}
+
+void SopSession::SetBasisHeadroom(PlanHeadroom headroom) {
+  headroom_ = std::move(headroom);
+}
+
+Workload SopSession::BuildWorkload(std::vector<QueryId>* ids) const {
+  ids->clear();
+  ids->reserve(registered_.size());
   Workload workload(window_type_, metric_);
   for (const auto& [id, query] : registered_) {
     workload.AddQuery(query);
-    detector_query_ids_.push_back(id);
+    ids->push_back(id);
   }
-  detector_ = builder_ != nullptr ? builder_(workload)
-                                  : std::make_unique<SopDetector>(workload);
+  return workload;
+}
+
+PlanHeadroom SopSession::EffectiveHeadroom(const Workload& workload) const {
+  PlanHeadroom headroom = headroom_;
+  if (!restored_basis_.empty()) {
+    // Reserve the dead incarnation's layers and envelopes so everything
+    // its basis covered stays overlay-only in this incarnation too.
+    headroom.r_values.insert(headroom.r_values.end(),
+                             restored_basis_.layer_r.begin(),
+                             restored_basis_.layer_r.end());
+    headroom.k_slack = std::max<int64_t>(
+        headroom.k_slack, restored_basis_.k_env - workload.MaxK());
+    headroom.win_floor = std::max(headroom.win_floor, restored_basis_.win);
+  }
+  return headroom;
+}
+
+void SopSession::ApplyWorkloadChange() {
+  dirty_ = false;
+  if (registered_.empty()) {
+    // Dropping the last query needs no evidence at all.
+    detector_.reset();
+    sop_detector_ = nullptr;
+    detector_query_ids_.clear();
+    ++change_stats_.overlay_changes;
+    SOP_COUNTER_ADD("session/change/overlay", 1);
+    return;
+  }
+  std::vector<QueryId> ids;
+  Workload workload = BuildWorkload(&ids);
+  if (sop_detector_ != nullptr) {
+    const PlanDelta delta = sop_detector_->ClassifyWorkload(workload);
+    if (delta == PlanDelta::kOverlayOnly) {
+      SOP_CHECK(sop_detector_->ApplyWorkload(std::move(workload)));
+      detector_query_ids_ = std::move(ids);
+      ++change_stats_.overlay_changes;
+      SOP_COUNTER_ADD("session/change/overlay", 1);
+      return;
+    }
+    if (delta == PlanDelta::kBasisExtend) {
+      ++change_stats_.basis_extends;
+      SOP_COUNTER_ADD("session/change/basis_extend", 1);
+      // Growing the basis is a deliberate recompile: stop carrying a dead
+      // incarnation's coverage forward.
+      restored_basis_.clear();
+    }
+  }
+  Rebuild();
+}
+
+void SopSession::Rebuild() {
+  SOP_TRACE("session/rebuild_ms");
+  SOP_COUNTER_ADD("session/rebuilds", 1);
+  SOP_COUNTER_ADD("session/change/rebuild", 1);
+  ++change_stats_.rebuilds;
+  detector_.reset();
+  sop_detector_ = nullptr;
+  detector_query_ids_.clear();
+  if (registered_.empty()) return;
+  std::vector<QueryId> ids;
+  const Workload workload = BuildWorkload(&ids);
+  detector_query_ids_ = std::move(ids);
+  if (builder_ != nullptr) {
+    detector_ = builder_(workload);
+  } else {
+    SopDetector::Options options = sop_options_;
+    options.headroom = EffectiveHeadroom(workload);
+    auto sop = std::make_unique<SopDetector>(workload, options);
+    sop_detector_ = sop.get();
+    detector_ = std::move(sop);
+  }
   SOP_CHECK_MSG(detector_ != nullptr, "detector builder returned null");
   // Replay the retained history so freshly added queries see populated
-  // windows. Replay emissions are internal; only the final boundary's
-  // results matter to the caller, and the caller collects those from the
-  // Advance that triggered the rebuild.
+  // windows. Replay emissions are internal; the live batch that triggered
+  // this change has not joined the history yet, so the caller's results
+  // come from its own Advance through the new detector.
   for (const HistoryBatch& batch : history_) {
-    if (batch.boundary > up_to_boundary) break;
     SOP_COUNTER_ADD("session/replayed_batches", 1);
     SOP_COUNTER_ADD("session/replayed_points", batch.points.size());
+    ++change_stats_.replayed_batches;
+    change_stats_.replayed_points += batch.points.size();
     detector_->Advance(batch.points, batch.boundary);
   }
 }
@@ -81,27 +161,23 @@ std::vector<SessionResult> SopSession::Advance(std::vector<Point> batch,
   last_boundary_ = boundary;
   for (Point& p : batch) p.seq = next_seq_++;
 
-  // Retain the batch for future replays, then trim history that no window
-  // can reach anymore.
-  history_.push_back(HistoryBatch{batch, boundary});
+  // Trim history no future replay can need, then realize any pending
+  // workload change. Ordering matters: the change is applied before the
+  // live batch joins the history, so a rebuild replays exactly the
+  // pre-change history and the live batch is advanced exactly once — by
+  // the post-change detector.
   while (!history_.empty() &&
          history_.front().boundary <= boundary - history_window_) {
     history_.pop_front();
   }
+  if (dirty_ || (detector_ == nullptr && !registered_.empty())) {
+    ApplyWorkloadChange();
+  }
+
+  history_.push_back(HistoryBatch{batch, boundary});
 
   std::vector<QueryResult> raw;
-  if (dirty_ || detector_ == nullptr) {
-    // Rebuild replays history including the batch just retained; the final
-    // replayed Advance is exactly this boundary, so re-run it to collect
-    // results. To avoid double-processing, replay up to the previous
-    // boundary and advance the new detector with the live batch.
-    const int64_t previous =
-        history_.size() >= 2 ? history_[history_.size() - 2].boundary
-                             : INT64_MIN;
-    Rebuild(previous);
-    if (detector_ == nullptr) return {};
-    raw = detector_->Advance(std::move(batch), boundary);
-  } else {
+  if (detector_ != nullptr) {
     raw = detector_->Advance(std::move(batch), boundary);
   }
 
@@ -130,7 +206,9 @@ void SopSession::Advance(std::vector<Point> batch, int64_t boundary,
 namespace {
 // Session state format version. The payload lives inside a common/frame.h
 // frame, so truncation/corruption is caught before this version is read.
-constexpr uint32_t kSessionStateVersion = 1;
+// v2 adds basis headroom + the live basis' coverage floor; v1 blobs are
+// still accepted (they predate headroom and restore with the defaults).
+constexpr uint32_t kSessionStateVersion = 2;
 }  // namespace
 
 std::string SopSession::SaveState() const {
@@ -150,6 +228,27 @@ std::string SopSession::SaveState() const {
     w.WriteI64(q.win);
     w.WriteI64(q.slide);
   }
+  // v2: the configured headroom, then the basis coverage floor — the live
+  // detector's basis if one exists (the overlay, i.e. the query table
+  // above, serializes separately from it on purpose: after overlay swaps
+  // the basis is not derivable from the current queries).
+  w.WriteBool(headroom_.elastic);
+  w.WriteU64(headroom_.r_values.size());
+  for (const double r : headroom_.r_values) w.WriteDouble(r);
+  w.WriteI64(headroom_.k_slack);
+  w.WriteI64(headroom_.win_floor);
+  BasisSnapshot snapshot = restored_basis_;
+  if (sop_detector_ != nullptr) {
+    const WorkloadPlan::Basis& basis = sop_detector_->plan().basis();
+    snapshot.layer_r = basis.layer_r;
+    snapshot.k_env = basis.k_max();
+    snapshot.win = basis.win;
+  }
+  w.WriteU64(snapshot.layer_r.size());
+  for (const double r : snapshot.layer_r) w.WriteDouble(r);
+  w.WriteI64(snapshot.k_env);
+  w.WriteI64(snapshot.win);
+
   w.WriteU64(history_.size());
   for (const HistoryBatch& b : history_) {
     w.WriteI64(b.boundary);
@@ -180,7 +279,9 @@ bool SopSession::LoadState(std::string_view bytes, std::string* error) {
   int64_t next_seq = 0;
   int64_t last_boundary = 0;
   if (!r.ReadU32(&version)) return fail("truncated");
-  if (version != kSessionStateVersion) return fail("unsupported version");
+  if (version < 1 || version > kSessionStateVersion) {
+    return fail("unsupported version");
+  }
   if (!r.ReadU32(&window_type) || !r.ReadU32(&metric) ||
       !r.ReadI64(&history_window) || !r.ReadI64(&next_id) ||
       !r.ReadI64(&next_seq) || !r.ReadI64(&last_boundary)) {
@@ -209,6 +310,44 @@ bool SopSession::LoadState(std::string_view bytes, std::string* error) {
     if (!probe.Validate().empty()) return fail("invalid saved query");
     restored.emplace(id, q);
   }
+
+  PlanHeadroom headroom = headroom_;
+  BasisSnapshot snapshot;
+  if (version >= 2) {
+    headroom = PlanHeadroom();
+    uint64_t num_r = 0;
+    if (!r.ReadBool(&headroom.elastic) || !r.ReadU64(&num_r)) {
+      return fail("truncated headroom");
+    }
+    for (uint64_t i = 0; i < num_r; ++i) {
+      double v = 0.0;
+      if (!r.ReadDouble(&v)) return fail("truncated headroom");
+      if (!std::isfinite(v) || v <= 0.0) return fail("bad headroom radius");
+      headroom.r_values.push_back(v);
+    }
+    if (!r.ReadI64(&headroom.k_slack) || !r.ReadI64(&headroom.win_floor) ||
+        headroom.k_slack < 0 || headroom.win_floor < 0) {
+      return fail("bad headroom");
+    }
+    uint64_t num_layers = 0;
+    if (!r.ReadU64(&num_layers)) return fail("truncated basis snapshot");
+    double prev_r = 0.0;
+    for (uint64_t i = 0; i < num_layers; ++i) {
+      double v = 0.0;
+      if (!r.ReadDouble(&v)) return fail("truncated basis snapshot");
+      if (!std::isfinite(v) || v <= prev_r) return fail("bad basis layer");
+      prev_r = v;
+      snapshot.layer_r.push_back(v);
+    }
+    if (!r.ReadI64(&snapshot.k_env) || !r.ReadI64(&snapshot.win)) {
+      return fail("truncated basis snapshot");
+    }
+    if (snapshot.k_env < 0 || snapshot.win < 0 ||
+        (!snapshot.empty() && (snapshot.k_env < 1 || snapshot.win < 1))) {
+      return fail("bad basis snapshot");
+    }
+  }
+
   uint64_t num_batches = 0;
   if (!r.ReadU64(&num_batches)) return fail("truncated");
   std::deque<HistoryBatch> history;
@@ -247,7 +386,10 @@ bool SopSession::LoadState(std::string_view bytes, std::string* error) {
   next_id_ = next_id;
   next_seq_ = next_seq;
   last_boundary_ = last_boundary;
+  headroom_ = std::move(headroom);
+  restored_basis_ = std::move(snapshot);
   detector_.reset();
+  sop_detector_ = nullptr;
   detector_query_ids_.clear();
   dirty_ = true;  // next Advance rebuilds and replays the restored history
   return true;

@@ -12,7 +12,7 @@
 namespace sop {
 
 SopDetector::SopDetector(const Workload& workload, Options options)
-    : plan_(workload),
+    : plan_(workload, options.headroom),
       options_(options),
       ksky_(&plan_, workload.MakeDistanceFn(0), options.ksky),
       buffer_(workload.window_type()) {
@@ -22,6 +22,15 @@ SopDetector::SopDetector(const Workload& workload, Options options)
         workload.MakeDistanceFn(0),
         plan_.r_min() * options_.grid_cell_factor);
   }
+}
+
+bool SopDetector::ApplyWorkload(Workload next) {
+  // ApplyOverlay refuses anything but an overlay-only change, so the
+  // skybands, safety flags and buffer stay valid evidence for `next`.
+  if (!plan_.ApplyOverlay(std::move(next))) return false;
+  ++stats_.overlay_swaps;
+  SOP_COUNTER_ADD("sop/overlay_swaps", 1);
+  return true;
 }
 
 std::vector<QueryResult> SopDetector::Advance(std::vector<Point> batch,

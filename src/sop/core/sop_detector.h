@@ -36,6 +36,10 @@ class SopDetector : public OutlierDetector {
   /// switches these off individually.
   struct Options {
     KSky::Options ksky;
+    /// Extra basis slack compiled into the plan so anticipated workload
+    /// changes stay overlay-only (see PlanHeadroom). Defaults to none:
+    /// the exact paper basis.
+    PlanHeadroom headroom;
     /// Skip Safe-For-All inliers in every future batch (Alg. 3 line 2) and
     /// release their evidence.
     bool safe_inlier_pruning = true;
@@ -56,6 +60,7 @@ class SopDetector : public OutlierDetector {
     int64_t candidates_examined = 0;
     int64_t early_terminations = 0;
     int64_t safe_points_discovered = 0;
+    int64_t overlay_swaps = 0;
   };
 
   explicit SopDetector(const Workload& workload)
@@ -71,6 +76,19 @@ class SopDetector : public OutlierDetector {
 
   const WorkloadPlan& plan() const { return plan_; }
   const Stats& stats() const { return stats_; }
+
+  /// Classifies replacing this detector's workload with `next` against the
+  /// compiled basis (see PlanDelta).
+  PlanDelta ClassifyWorkload(const Workload& next) const {
+    return plan_.Classify(next);
+  }
+
+  /// Swaps the per-query overlay in place: the detector answers `next`
+  /// from the next boundary on, without touching buffered points, skyband
+  /// evidence, safety flags, or the index. Only legal between batches and
+  /// only when ClassifyWorkload(next) == kOverlayOnly; returns false (state
+  /// unchanged) otherwise — the caller must rebuild-and-replay instead.
+  bool ApplyWorkload(Workload next);
 
   /// Serializes the detector's full streaming state (alive points,
   /// skybands, safety flags, counters) into a framed, CRC-checksummed

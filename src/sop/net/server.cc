@@ -550,9 +550,19 @@ bool SopServer::Start(std::string* error) {
                                             im.options.metric,
                                             im.options.history_window);
   const std::string detector_name = im.options.detector;
-  im.session->SetDetectorBuilder([detector_name](const Workload& workload) {
-    return CreateDetector(detector_name, workload);
-  });
+  if (detector_name == "sop" || detector_name == "sop-grid") {
+    // Route through the session's in-process SopDetector so subscribe/
+    // unsubscribe can take the overlay-swap path instead of always
+    // rebuilding and replaying history.
+    SopDetector::Options sop_options;
+    sop_options.use_grid_index = detector_name == "sop-grid";
+    im.session->UseSopDetector(sop_options);
+  } else {
+    im.session->SetDetectorBuilder([detector_name](const Workload& workload) {
+      return CreateDetector(detector_name, workload);
+    });
+  }
+  im.session->SetBasisHeadroom(im.options.headroom);
   im.last_boundary = INT64_MIN;
 
   // Resume from the previous incarnation's checkpoint when one exists.
@@ -657,6 +667,16 @@ ServerStats SopServer::stats() const {
   s.checkpoint_failures =
       a.checkpoint_failures.load(std::memory_order_relaxed);
   s.resumed = a.resumed.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->session_mu);
+    if (impl_->session != nullptr) {
+      const SessionChangeStats& c = impl_->session->change_stats();
+      s.overlay_changes = c.overlay_changes;
+      s.basis_extends = c.basis_extends;
+      s.rebuild_changes = c.rebuilds;
+      s.replayed_points = c.replayed_points;
+    }
+  }
   return s;
 }
 

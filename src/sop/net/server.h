@@ -8,9 +8,14 @@
 //                  increasing window boundaries; the session advances and
 //                  the ingesting client receives an ack (its RTT is the
 //                  end-to-end ingest latency),
-//   subscriptions  clients register/retire outlier queries live
-//                  (SopSession::AddQuery/RemoveQuery with history replay,
-//                  so a fresh subscriber starts with a populated window),
+//   subscriptions  clients register/retire outlier queries live through
+//                  the session's tiered change path: with the default
+//                  "sop"/"sop-grid" detector, a subscribe at an
+//                  already-served radius (and any unsubscribe) is an
+//                  in-place overlay swap — no rebuild, no history replay —
+//                  while basis growth or other detector names fall back to
+//                  rebuild-and-replay so a fresh subscriber still starts
+//                  with a populated window,
 //   emissions      every due query's outliers are pushed to exactly the
 //                  clients subscribed to that query.
 //
@@ -54,6 +59,7 @@
 #include "sop/common/distance.h"
 #include "sop/detector/engine.h"
 #include "sop/net/socket.h"
+#include "sop/query/plan.h"
 #include "sop/stream/window.h"
 
 namespace sop {
@@ -75,6 +81,14 @@ struct ServerOptions {
   /// History retention for replay on workload changes, in window-key units
   /// (see SopSession). Bound it by the largest window you intend to serve.
   int64_t history_window = 4096;
+
+  /// Basis headroom for the session's SopDetector compilations (see
+  /// SopSession::SetBasisHeadroom). The elastic default makes every
+  /// subscribe at an already-served radius an in-place overlay swap — no
+  /// rebuild, no history replay. Pass PlanHeadroom() for the exact paper
+  /// basis. Ignored for non-SOP detector names (they always
+  /// rebuild-and-replay).
+  PlanHeadroom headroom = PlanHeadroom::Elastic();
 
   /// Per-client send queue capacity (frames) and full-queue policy.
   /// kDropOldest sheds only emissions, never control replies.
@@ -114,6 +128,12 @@ struct ServerStats {
   uint64_t shed_emissions = 0;     // emission frames dropped under overload
   uint64_t subscribes = 0;
   uint64_t unsubscribes = 0;
+  // How the session realized workload changes (SessionChangeStats): overlay
+  // swaps vs rebuild-and-replay, and the total replay cost paid so far.
+  uint64_t overlay_changes = 0;
+  uint64_t basis_extends = 0;
+  uint64_t rebuild_changes = 0;
+  uint64_t replayed_points = 0;
   uint64_t protocol_errors = 0;    // malformed frames / messages / plans
   uint64_t checkpoints = 0;        // checkpoint files published
   uint64_t checkpoint_failures = 0;

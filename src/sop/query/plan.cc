@@ -1,46 +1,210 @@
 #include "sop/query/plan.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sop/common/check.h"
 
 namespace sop {
+namespace {
 
-WorkloadPlan::WorkloadPlan(Workload workload) : workload_(std::move(workload)) {
+// One evidence demand against the basis: "keep enough skyband evidence to
+// answer a query at this layer with this k". Real queries contribute their
+// own (layer, k); headroom contributes virtual demands so anticipated
+// queries are provisioned the same way real ones are.
+struct BasisDemand {
+  int layer;
+  int64_t k;
+};
+
+}  // namespace
+
+const char* PlanDeltaName(PlanDelta delta) {
+  switch (delta) {
+    case PlanDelta::kOverlayOnly:
+      return "overlay-only";
+    case PlanDelta::kBasisExtend:
+      return "basis-extend";
+    case PlanDelta::kRebuild:
+      return "rebuild";
+  }
+  return "unknown";
+}
+
+int WorkloadPlan::Basis::LayerOfDistance(double d) const {
+  const auto it = std::lower_bound(layer_r.begin(), layer_r.end(), d);
+  return static_cast<int>(it - layer_r.begin()) + 1;
+}
+
+int WorkloadPlan::Basis::LayerOfRadius(double r) const {
+  // Exact double equality on purpose: a query "reuses a layer" only when
+  // its r is bit-identical to a compiled threshold; a nearby-but-different
+  // r is a genuinely new layer (the normalized distance would bucket
+  // points differently).
+  const auto it = std::lower_bound(layer_r.begin(), layer_r.end(), r);
+  if (it == layer_r.end() || *it != r) return 0;
+  return static_cast<int>(it - layer_r.begin()) + 1;
+}
+
+bool WorkloadPlan::Basis::Covers(const OutlierQuery& q) const {
+  const int layer = LayerOfRadius(q.r);
+  if (layer == 0) return false;                // new r layer: new bucketing
+  if (q.k < 1 || q.k > k_max()) return false;  // beyond the k envelope
+  if (q.win > win) return false;               // beyond the swift window
+  // Def. 6 condition 3: the basis must never have pruned a candidate q
+  // still needs. q needs candidates at layers <= `layer` until they are
+  // dominated q.k times; the table is non-increasing in the count, so the
+  // binding check is at count q.k - 1.
+  if (layer > max_layer_for_count[static_cast<size_t>(q.k - 1)]) {
+    return false;
+  }
+  // Safe-For-All: evidence for released inliers is gone, so q must be
+  // implied by the staircase: some requirement at layer_i <= layer with
+  // k_i >= q.k (then count(<= layer) >= count(<= layer_i) >= k_i >= q.k).
+  // Requirements ascend in both layer and k, so the last one at or below
+  // `layer` carries the largest k.
+  const auto it = std::partition_point(
+      safety_requirements.begin(), safety_requirements.end(),
+      [layer](const SafetyRequirement& req) { return req.layer <= layer; });
+  if (it == safety_requirements.begin()) return false;
+  return (it - 1)->k >= q.k;
+}
+
+WorkloadPlan::WorkloadPlan(Workload workload, const PlanHeadroom& headroom)
+    : workload_(std::move(workload)) {
+  ValidateWorkload();
+  SOP_CHECK(headroom.k_slack >= 0 && headroom.win_floor >= 0);
+  for (const double r : headroom.r_values) {
+    SOP_CHECK_MSG(std::isfinite(r) && r > 0.0,
+                  "PlanHeadroom r values must be positive and finite");
+  }
+  const auto& queries = workload_.queries();
+
+  // Layers: ascending unique r values, real and reserved.
+  basis_.layer_r.reserve(queries.size() + headroom.r_values.size());
+  for (const OutlierQuery& q : queries) basis_.layer_r.push_back(q.r);
+  for (const double r : headroom.r_values) basis_.layer_r.push_back(r);
+  std::sort(basis_.layer_r.begin(), basis_.layer_r.end());
+  basis_.layer_r.erase(
+      std::unique(basis_.layer_r.begin(), basis_.layer_r.end()),
+      basis_.layer_r.end());
+
+  // Envelopes.
+  const int64_t k_env = workload_.MaxK() + headroom.k_slack;
+  basis_.win = std::max(workload_.MaxWindow(), headroom.win_floor);
+
+  // Demands: real queries plus headroom reservations. Elastic provisions
+  // the full envelope at every layer (the plain (k_env - 1)-skyband of
+  // Lemma 1); otherwise each reserved r is provisioned to the envelope.
+  std::vector<BasisDemand> demands;
+  demands.reserve(queries.size() + basis_.layer_r.size());
+  for (const OutlierQuery& q : queries) {
+    demands.push_back({basis_.LayerOfRadius(q.r), q.k});
+  }
+  if (headroom.elastic) {
+    for (int m = 1; m <= basis_.num_layers(); ++m) {
+      demands.push_back({m, k_env});
+    }
+  } else {
+    for (const double r : headroom.r_values) {
+      demands.push_back({basis_.LayerOfRadius(r), k_env});
+    }
+  }
+
+  // Demand groups: ascending unique k, with min/max layer per group (for
+  // real queries this reproduces the paper's k-groups exactly).
+  std::vector<int64_t> demand_k;
+  demand_k.reserve(demands.size());
+  for (const BasisDemand& d : demands) demand_k.push_back(d.k);
+  std::sort(demand_k.begin(), demand_k.end());
+  demand_k.erase(std::unique(demand_k.begin(), demand_k.end()),
+                 demand_k.end());
+  std::vector<int> dmin(demand_k.size(), basis_.num_layers() + 1);
+  std::vector<int> dmax(demand_k.size(), 0);
+  for (const BasisDemand& d : demands) {
+    const auto it = std::lower_bound(demand_k.begin(), demand_k.end(), d.k);
+    const size_t g = static_cast<size_t>(it - demand_k.begin());
+    dmin[g] = std::min(dmin[g], d.layer);
+    dmax[g] = std::max(dmax[g], d.layer);
+  }
+
+  // Def. 6 condition 3 table over the demand groups. suffix_max[g] = max
+  // max-layer over groups with index >= g; a candidate dominated by
+  // `count` points serves group g only when k(g) > count, i.e. groups at
+  // index >= UpperBound(count).
+  std::vector<int> suffix_max(demand_k.size() + 1, 0);
+  for (size_t g = demand_k.size(); g-- > 0;) {
+    suffix_max[g] = std::max(suffix_max[g + 1], dmax[g]);
+  }
+  basis_.max_layer_for_count.resize(static_cast<size_t>(k_env));
+  for (int64_t c = 0; c < k_env; ++c) {
+    const auto it = std::upper_bound(demand_k.begin(), demand_k.end(), c);
+    basis_.max_layer_for_count[static_cast<size_t>(c)] =
+        suffix_max[static_cast<size_t>(it - demand_k.begin())];
+  }
+
+  // Safe-For-All requirements: demand group g demands k(g) succeeding
+  // entries within its smallest r (its min layer); monotonicity of prefix
+  // counts makes a requirement implied when an earlier layer already
+  // demands at least as many entries, so only a strictly increasing
+  // staircase remains. (Under elastic headroom this collapses to the
+  // single requirement {layer 1, k_env}: the one condition every covered
+  // future query can rely on.)
+  {
+    std::vector<SafetyRequirement> reqs;
+    reqs.reserve(demand_k.size());
+    for (size_t g = 0; g < demand_k.size(); ++g) {
+      reqs.push_back({dmin[g], demand_k[g]});
+    }
+    std::sort(reqs.begin(), reqs.end(),
+              [](const SafetyRequirement& a, const SafetyRequirement& b) {
+                return a.layer != b.layer ? a.layer < b.layer : a.k > b.k;
+              });
+    for (const SafetyRequirement& r : reqs) {
+      if (!basis_.safety_requirements.empty() &&
+          basis_.safety_requirements.back().k >= r.k) {
+        continue;  // implied by a requirement at an earlier layer
+      }
+      basis_.safety_requirements.push_back(r);
+    }
+  }
+
+  CompileOverlay();
+}
+
+void WorkloadPlan::ValidateWorkload() const {
   const std::string problem = workload_.Validate();
   SOP_CHECK_MSG(problem.empty(), problem.c_str());
+  SOP_CHECK_MSG(workload_.num_queries() > 0,
+                "WorkloadPlan requires at least one query");
   const auto& queries = workload_.queries();
   for (const OutlierQuery& q : queries) {
     SOP_CHECK_MSG(q.attribute_set == queries.front().attribute_set,
                   "WorkloadPlan requires a single attribute set; use "
                   "MultiAttributeDetector for mixed workloads");
   }
+}
 
-  // Layers: ascending unique r values.
-  layer_r_.reserve(queries.size());
-  for (const OutlierQuery& q : queries) layer_r_.push_back(q.r);
-  std::sort(layer_r_.begin(), layer_r_.end());
-  layer_r_.erase(std::unique(layer_r_.begin(), layer_r_.end()),
-                 layer_r_.end());
+void WorkloadPlan::CompileOverlay() {
+  const auto& queries = workload_.queries();
 
-  // Groups: ascending unique k values.
+  // Groups: ascending unique real k values.
+  group_k_.clear();
   group_k_.reserve(queries.size());
   for (const OutlierQuery& q : queries) group_k_.push_back(q.k);
   std::sort(group_k_.begin(), group_k_.end());
   group_k_.erase(std::unique(group_k_.begin(), group_k_.end()),
                  group_k_.end());
 
-  // Per-query coordinates.
-  query_layer_.resize(queries.size());
-  query_group_.resize(queries.size());
+  // Per-query coordinates against the fixed basis.
+  query_layer_.assign(queries.size(), 0);
+  query_group_.assign(queries.size(), 0);
   group_min_layer_.assign(group_k_.size(), num_layers() + 1);
   group_max_layer_.assign(group_k_.size(), 0);
   for (size_t i = 0; i < queries.size(); ++i) {
     const OutlierQuery& q = queries[i];
-    const auto layer_it =
-        std::lower_bound(layer_r_.begin(), layer_r_.end(), q.r);
-    const int layer =
-        static_cast<int>(layer_it - layer_r_.begin()) + 1;  // exact match
+    const int layer = basis_.LayerOfRadius(q.r);
+    SOP_CHECK_MSG(layer != 0, "query r is not a basis layer");
     const auto group_it =
         std::lower_bound(group_k_.begin(), group_k_.end(), q.k);
     const int group = static_cast<int>(group_it - group_k_.begin());
@@ -52,46 +216,6 @@ WorkloadPlan::WorkloadPlan(Workload workload) : workload_(std::move(workload)) {
     gmax = std::max(gmax, layer);
   }
 
-  // Def. 6 condition 3 table. suffix_max[g] = max max_layer over groups
-  // with index >= g; a candidate dominated by `count` points serves group
-  // g only when k(g) > count, i.e. groups at index >= UpperBound(count).
-  std::vector<int> suffix_max(group_k_.size() + 1, 0);
-  for (int g = num_groups() - 1; g >= 0; --g) {
-    suffix_max[static_cast<size_t>(g)] =
-        std::max(suffix_max[static_cast<size_t>(g) + 1],
-                 group_max_layer_[static_cast<size_t>(g)]);
-  }
-  max_layer_for_count_.resize(static_cast<size_t>(k_max()));
-  for (int64_t c = 0; c < k_max(); ++c) {
-    const auto it = std::upper_bound(group_k_.begin(), group_k_.end(), c);
-    max_layer_for_count_[static_cast<size_t>(c)] =
-        suffix_max[static_cast<size_t>(it - group_k_.begin())];
-  }
-
-  // Safe-For-All requirements: group g demands k(g) succeeding entries
-  // within its smallest r (its min layer); monotonicity of prefix counts
-  // makes a requirement implied when an earlier layer already demands at
-  // least as many entries, so only a strictly increasing staircase remains.
-  {
-    std::vector<SafetyRequirement> reqs;
-    reqs.reserve(group_k_.size());
-    for (int g = 0; g < num_groups(); ++g) {
-      reqs.push_back(
-          {group_min_layer_[static_cast<size_t>(g)], group_k_[static_cast<size_t>(g)]});
-    }
-    std::sort(reqs.begin(), reqs.end(),
-              [](const SafetyRequirement& a, const SafetyRequirement& b) {
-                return a.layer != b.layer ? a.layer < b.layer : a.k > b.k;
-              });
-    for (const SafetyRequirement& r : reqs) {
-      if (!safety_requirements_.empty() &&
-          safety_requirements_.back().k >= r.k) {
-        continue;  // implied by a requirement at an earlier layer
-      }
-      safety_requirements_.push_back(r);
-    }
-  }
-
   queries_by_window_.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) queries_by_window_[i] = i;
   std::stable_sort(queries_by_window_.begin(), queries_by_window_.end(),
@@ -99,18 +223,79 @@ WorkloadPlan::WorkloadPlan(Workload workload) : workload_(std::move(workload)) {
                      return queries[a].win < queries[b].win;
                    });
 
-  win_max_ = workload_.MaxWindow();
   slide_gcd_ = workload_.SlideGcd();
 }
 
-int WorkloadPlan::LayerOfDistance(double d) const {
-  const auto it = std::lower_bound(layer_r_.begin(), layer_r_.end(), d);
-  return static_cast<int>(it - layer_r_.begin()) + 1;
+PlanDelta WorkloadPlan::Classify(const Workload& next) const {
+  if (next.num_queries() == 0 || !next.Validate().empty()) {
+    return PlanDelta::kRebuild;
+  }
+  if (next.window_type() != workload_.window_type() ||
+      next.metric() != workload_.metric()) {
+    return PlanDelta::kRebuild;
+  }
+  // The plan is compiled for one attribute set (one distance function); a
+  // different set makes the stored skyband distances meaningless.
+  const int attrs = workload_.queries().front().attribute_set;
+  for (const OutlierQuery& q : next.queries()) {
+    if (q.attribute_set != attrs) return PlanDelta::kRebuild;
+  }
+  if (next.attribute_sets()[static_cast<size_t>(attrs)] !=
+      workload_.attribute_sets()[static_cast<size_t>(attrs)]) {
+    return PlanDelta::kRebuild;
+  }
+  for (const OutlierQuery& q : next.queries()) {
+    if (!basis_.Covers(q)) return PlanDelta::kBasisExtend;
+  }
+  return PlanDelta::kOverlayOnly;
+}
+
+bool WorkloadPlan::ApplyOverlay(Workload next) {
+  if (Classify(next) != PlanDelta::kOverlayOnly) return false;
+  workload_ = std::move(next);
+  CompileOverlay();
+  return true;
+}
+
+bool WorkloadPlan::AdoptBasis(Basis basis) {
+  // Structural validation first: the basis typically arrives from a
+  // checkpoint, and Covers() can only be trusted on a well-formed one.
+  if (basis.layer_r.empty() || basis.max_layer_for_count.empty() ||
+      basis.win <= 0) {
+    return false;
+  }
+  for (size_t i = 0; i < basis.layer_r.size(); ++i) {
+    if (!std::isfinite(basis.layer_r[i]) || basis.layer_r[i] <= 0.0) {
+      return false;
+    }
+    if (i > 0 && basis.layer_r[i] <= basis.layer_r[i - 1]) return false;
+  }
+  int prev_layer = basis.num_layers() + 1;
+  for (const int layer : basis.max_layer_for_count) {
+    if (layer < 0 || layer > basis.num_layers()) return false;
+    if (layer > prev_layer) return false;  // must be non-increasing
+    prev_layer = layer;
+  }
+  const SafetyRequirement* prev = nullptr;
+  for (const SafetyRequirement& req : basis.safety_requirements) {
+    if (req.layer < 1 || req.layer > basis.num_layers()) return false;
+    if (req.k < 1 || req.k > basis.k_max()) return false;
+    if (prev != nullptr && (req.layer <= prev->layer || req.k <= prev->k)) {
+      return false;
+    }
+    prev = &req;
+  }
+  for (const OutlierQuery& q : workload_.queries()) {
+    if (!basis.Covers(q)) return false;
+  }
+  basis_ = std::move(basis);
+  CompileOverlay();
+  return true;
 }
 
 int WorkloadPlan::MaxLayerForCount(int64_t count) const {
   SOP_DCHECK(count >= 0 && count < k_max());
-  return max_layer_for_count_[static_cast<size_t>(count)];
+  return basis_.max_layer_for_count[static_cast<size_t>(count)];
 }
 
 }  // namespace sop

@@ -1,9 +1,29 @@
 // WorkloadPlan: the compiled form of a workload used by the SOP core.
 //
-// This is the paper's "query parser" output (Fig. 6): the sorted unique
-// r values (the layers of the normalized distance, Def. 4), the k-groups
-// (Sec. 3.2), the Def-6 skyband-point pruning table, and the swift-query
-// window parameters (Sec. 4).
+// This is the paper's "query parser" output (Fig. 6), split into two
+// halves with very different lifetimes (DESIGN.md Sec. 14):
+//
+//   * The BASIS is the immutable evidence contract: the sorted unique r
+//     values (the layers of the normalized distance, Def. 4), the k
+//     envelope, the Def-6 skyband-point pruning table, the Safe-For-All
+//     staircase, and the swift-window size (Sec. 4). Everything that
+//     decides which evidence K-SKY keeps or irreversibly discards lives
+//     here. A detector's skybands are only meaningful relative to the
+//     basis they were built under, so the basis never changes in place.
+//
+//   * The OVERLAY is the cheaply recompilable per-query view: query ->
+//     layer/k-group maps, the emission sweep order, the slide gcd. It
+//     only decides how kept evidence is *read* at emission time, so it
+//     can be swapped between batches without touching detector state.
+//
+// Workload changes are classified against the basis (PlanDelta): a change
+// every query of which the basis covers is overlay-only (by the
+// generalized Lemmas 1-3, see ksky.h, the live skybands are already
+// sufficient evidence); a change that needs a new layer, a deeper k, or a
+// wider window extends the basis and therefore requires rebuild-and-
+// replay (normalized-distance bucketing changes, and skyband pruning may
+// have discarded now-needed evidence). PlanHeadroom widens the basis at
+// compile time so anticipated changes stay overlay-only.
 
 #ifndef SOP_QUERY_PLAN_H_
 #define SOP_QUERY_PLAN_H_
@@ -15,37 +35,156 @@
 
 namespace sop {
 
+/// How a workload change relates to a compiled plan's basis.
+enum class PlanDelta {
+  /// Every query of the new workload is covered by the existing basis:
+  /// the overlay can be recompiled in place, detector evidence untouched.
+  kOverlayOnly,
+  /// Some query needs basis growth (new r layer, k beyond the envelope,
+  /// window beyond the swift window, or evidence the Def-6 table already
+  /// pruned): the detector must be rebuilt and history replayed.
+  kBasisExtend,
+  /// The workloads are not comparable at all (window type, metric or
+  /// attribute-set change, or an empty/invalid target): full rebuild.
+  kRebuild,
+};
+
+/// Human-readable name of `delta`.
+const char* PlanDeltaName(PlanDelta delta);
+
+/// Caller-supplied slack compiled into the basis so anticipated workload
+/// changes classify as kOverlayOnly instead of forcing rebuild-and-replay.
+/// Headroom trades steady-state pruning for change cost: a wider basis
+/// keeps more evidence per point (see DESIGN.md Sec. 14.4).
+struct PlanHeadroom {
+  /// Cover every (existing layer, k <= k envelope) combination: the basis
+  /// keeps the full (k_max - 1)-skyband of Lemma 1 instead of the
+  /// workload-pruned Def-6 subset, and Safe-For-All tightens to the one
+  /// requirement every future query can rely on. Any AddQuery whose r is
+  /// an existing layer, k fits the envelope and win fits the swift window
+  /// is then overlay-only.
+  bool elastic = false;
+  /// Extra r values reserved as layers (each provisioned to the full k
+  /// envelope, like an anticipated query at that radius).
+  std::vector<double> r_values;
+  /// Raises the k envelope this much above the workload's largest k.
+  int64_t k_slack = 0;
+  /// Swift-window floor, in window-key units (covers adds up to this win).
+  int64_t win_floor = 0;
+
+  /// The dynamic-workload default: elastic with no extra reservations.
+  static PlanHeadroom Elastic() {
+    PlanHeadroom h;
+    h.elastic = true;
+    return h;
+  }
+
+  /// True when this headroom widens nothing (the exact paper basis).
+  bool none() const {
+    return !elastic && r_values.empty() && k_slack == 0 && win_floor == 0;
+  }
+
+  friend bool operator==(const PlanHeadroom&, const PlanHeadroom&) = default;
+};
+
 /// Immutable plan compiled from a validated workload whose queries all use
 /// the same attribute set (multi-attribute workloads are split upstream;
 /// see core/multi_attribute.h).
 class WorkloadPlan {
  public:
-  /// Compiles `workload`. Check-fails if the workload is invalid or mixes
-  /// attribute sets.
-  explicit WorkloadPlan(Workload workload);
+  /// One Safe-For-All requirement: the skyband must hold at least `k`
+  /// succeeding entries with layer <= `layer` (DESIGN.md Sec. 4.3).
+  struct SafetyRequirement {
+    int layer;
+    int64_t k;
+
+    friend bool operator==(const SafetyRequirement&,
+                           const SafetyRequirement&) = default;
+  };
+
+  /// The immutable evidence contract (see file comment). Self-contained
+  /// and serializable: two detectors with equal bases make identical
+  /// evidence keep/discard decisions.
+  struct Basis {
+    std::vector<double> layer_r;  // ascending unique r values
+    int64_t win = 0;              // swift-window size (envelope)
+    /// Def. 6 condition 3 table, indexed by dominated count; its size IS
+    /// the k envelope (k_max).
+    std::vector<int> max_layer_for_count;
+    /// The Safe-For-All staircase, ascending in both layer and k.
+    std::vector<SafetyRequirement> safety_requirements;
+
+    int num_layers() const { return static_cast<int>(layer_r.size()); }
+    int64_t k_max() const {
+      return static_cast<int64_t>(max_layer_for_count.size());
+    }
+
+    /// Normalized distance of `d` (Def. 4): the 1-based layer index m with
+    /// r_{m-1} < d <= r_m, or num_layers()+1 when d exceeds every r.
+    int LayerOfDistance(double d) const;
+
+    /// The 1-based layer whose r equals `r` exactly, or 0 when `r` is not
+    /// a layer of this basis.
+    int LayerOfRadius(double r) const;
+
+    /// True iff this basis retains sufficient evidence to answer `q`
+    /// exactly: q.r is an existing layer, q.k fits the envelope, q.win
+    /// fits the swift window, the Def-6 table never prunes evidence q
+    /// needs, and released Safe-For-All inliers are inliers for q too.
+    /// A covered query can be added (and any query removed) without
+    /// rebuilding the detector (DESIGN.md Sec. 14.2).
+    bool Covers(const OutlierQuery& q) const;
+
+    friend bool operator==(const Basis&, const Basis&) = default;
+  };
+
+  /// Compiles `workload` with the exact paper basis (no headroom).
+  /// Check-fails if the workload is invalid or mixes attribute sets.
+  explicit WorkloadPlan(Workload workload)
+      : WorkloadPlan(std::move(workload), PlanHeadroom()) {}
+
+  /// Compiles `workload` with `headroom` widening the basis.
+  WorkloadPlan(Workload workload, const PlanHeadroom& headroom);
 
   const Workload& workload() const { return workload_; }
+  const Basis& basis() const { return basis_; }
 
-  /// Number of normalized-distance layers L (== distinct r values).
-  int num_layers() const { return static_cast<int>(layer_r_.size()); }
+  /// Classifies replacing this plan's workload with `next` (see PlanDelta).
+  PlanDelta Classify(const Workload& next) const;
+
+  /// Recompiles the overlay for `next` against the unchanged basis.
+  /// Returns false (plan unchanged) unless Classify(next) == kOverlayOnly.
+  bool ApplyOverlay(Workload next);
+
+  /// Replaces the basis with `basis` (checkpoint restore: skyband layer
+  /// indices are only meaningful relative to the basis they were saved
+  /// under) and recompiles the overlay against it. Returns false (plan
+  /// unchanged) when `basis` is malformed or does not cover every query.
+  bool AdoptBasis(Basis basis);
+
+  /// Number of normalized-distance layers L (== distinct r values,
+  /// including headroom reservations).
+  int num_layers() const { return basis_.num_layers(); }
   /// The r threshold of 1-based layer `m`.
-  double r_of_layer(int m) const { return layer_r_[static_cast<size_t>(m - 1)]; }
-  /// Smallest r in the workload (the global termination radius, Alg. 1).
-  double r_min() const { return layer_r_.front(); }
-  /// Largest r in the workload (Def. 5 condition 3 cutoff).
-  double r_max() const { return layer_r_.back(); }
+  double r_of_layer(int m) const {
+    return basis_.layer_r[static_cast<size_t>(m - 1)];
+  }
+  /// Smallest r in the basis (the global termination radius, Alg. 1).
+  double r_min() const { return basis_.layer_r.front(); }
+  /// Largest r in the basis (Def. 5 condition 3 cutoff).
+  double r_max() const { return basis_.layer_r.back(); }
 
-  /// Number of k-groups G (== distinct k values), ascending.
+  /// Number of k-groups G (== distinct k values of the real queries),
+  /// ascending.
   int num_groups() const { return static_cast<int>(group_k_.size()); }
   /// The k of 0-based group `g`.
   int64_t k_of_group(int g) const { return group_k_[static_cast<size_t>(g)]; }
-  /// Largest k across the workload.
-  int64_t k_max() const { return group_k_.back(); }
+  /// The k envelope: the largest k the basis retains evidence for (the
+  /// workload's largest k plus any headroom slack).
+  int64_t k_max() const { return basis_.k_max(); }
 
-  /// Normalized distance of an original distance `d` (Def. 4): the 1-based
-  /// layer index m with r_{m-1} < d <= r_m, or num_layers()+1 when d
-  /// exceeds every r (the point is nobody's neighbor, Def. 5 cond. 3).
-  int LayerOfDistance(double d) const;
+  /// Normalized distance of an original distance `d` (Def. 4).
+  int LayerOfDistance(double d) const { return basis_.LayerOfDistance(d); }
 
   /// Layer of query `i`'s exact r value (1-based).
   int layer_of_query(size_t i) const { return query_layer_[i]; }
@@ -64,27 +203,22 @@ class WorkloadPlan {
 
   /// Def. 6 condition 3: the deepest layer at which a candidate already
   /// dominated by `count` points can still be a skyband point, i.e.
-  /// max{ max_layer(g) : k(g) > count }. Returns 0 when no group can use
-  /// such a candidate. Requires 0 <= count < k_max().
+  /// max{ max_layer(g) : k(g) > count } over the basis demands. Returns 0
+  /// when no demand can use such a candidate. Requires 0 <= count <
+  /// k_max().
   int MaxLayerForCount(int64_t count) const;
 
-  /// One Safe-For-All requirement: the skyband must hold at least `k`
-  /// succeeding entries with layer <= `layer` (DESIGN.md Sec. 4.3).
-  struct SafetyRequirement {
-    int layer;
-    int64_t k;
-  };
-
-  /// The pruned Safe-For-All requirement staircase: one entry per k-group
-  /// at its min layer, with implied requirements removed. Ascending in both
-  /// `layer` and `k`. A point is a Safe-For-All inlier iff its succeeding
-  /// skyband prefix satisfies every requirement.
+  /// The pruned Safe-For-All requirement staircase: ascending in both
+  /// `layer` and `k`, implied requirements removed. A point is a
+  /// Safe-For-All inlier iff its succeeding skyband prefix satisfies every
+  /// requirement.
   const std::vector<SafetyRequirement>& safety_requirements() const {
-    return safety_requirements_;
+    return basis_.safety_requirements;
   }
 
-  /// Swift-query window size: the largest query window (Sec. 4.1).
-  int64_t win_max() const { return win_max_; }
+  /// Swift-query window size: the largest query window, widened by any
+  /// headroom floor (Sec. 4.1).
+  int64_t win_max() const { return basis_.win; }
   /// Swift-query slide: gcd of the query slides (Sec. 4.2).
   int64_t slide_gcd() const { return slide_gcd_; }
 
@@ -96,17 +230,21 @@ class WorkloadPlan {
   }
 
  private:
+  // Validates workload_ for plan compilation (single attribute set).
+  void ValidateWorkload() const;
+  // Recomputes every overlay field from workload_ against basis_.
+  void CompileOverlay();
+
   Workload workload_;
-  std::vector<double> layer_r_;       // ascending unique r values
-  std::vector<int64_t> group_k_;      // ascending unique k values
+  Basis basis_;
+
+  // Overlay: recompiled wholesale by CompileOverlay.
+  std::vector<int64_t> group_k_;      // ascending unique real k values
   std::vector<int> query_layer_;      // per query, 1-based
   std::vector<int> query_group_;      // per query, 0-based
   std::vector<int> group_min_layer_;  // per group
   std::vector<int> group_max_layer_;  // per group
-  std::vector<int> max_layer_for_count_;  // size k_max
-  std::vector<SafetyRequirement> safety_requirements_;
   std::vector<size_t> queries_by_window_;
-  int64_t win_max_ = 0;
   int64_t slide_gcd_ = 0;
 };
 

@@ -285,6 +285,12 @@ TEST(NetTest, MidRunSubscriptionChurnMatchesDirectSession) {
   }
   EXPECT_EQ(server.stats().subscribes, 2u);
   EXPECT_EQ(server.stats().unsubscribes, 1u);
+  // The tiered change path: qb's mid-run subscribe introduces a new radius
+  // layer (2.5), which extends the basis and replays history; the
+  // unsubscribe is an in-place overlay swap that replays nothing.
+  EXPECT_EQ(server.stats().overlay_changes, 1u);
+  EXPECT_EQ(server.stats().basis_extends, 1u);
+  EXPECT_GT(server.stats().replayed_points, 0u);
 }
 
 // --- overload ------------------------------------------------------------

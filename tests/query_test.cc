@@ -162,5 +162,131 @@ TEST(PlanTest, SwiftQueryParameters) {
   EXPECT_EQ(plan.slide_gcd(), 5);
 }
 
+TEST(PlanDeltaTest, ClassifiesOverlayExtendAndRebuild) {
+  Workload w = MakeWorkload(
+      {OutlierQuery(1.0, 3, 100, 10), OutlierQuery(2.0, 2, 100, 10)});
+  WorkloadPlan plan(w);
+
+  // Removing a query: always overlay-only.
+  Workload removed = MakeWorkload({OutlierQuery(1.0, 3, 100, 10)});
+  EXPECT_EQ(plan.Classify(removed), PlanDelta::kOverlayOnly);
+
+  // Adding at an existing layer, k and win inside the compiled basis.
+  Workload same_layer = w;
+  same_layer.AddQuery(OutlierQuery(1.0, 2, 50, 10));
+  EXPECT_EQ(plan.Classify(same_layer), PlanDelta::kOverlayOnly);
+
+  // New radius: new layer -> basis extend.
+  Workload new_r = w;
+  new_r.AddQuery(OutlierQuery(1.5, 2, 100, 10));
+  EXPECT_EQ(plan.Classify(new_r), PlanDelta::kBasisExtend);
+
+  // k beyond the compiled envelope.
+  Workload big_k = w;
+  big_k.AddQuery(OutlierQuery(1.0, 4, 100, 10));
+  EXPECT_EQ(plan.Classify(big_k), PlanDelta::kBasisExtend);
+
+  // Window beyond the swift envelope.
+  Workload big_win = w;
+  big_win.AddQuery(OutlierQuery(1.0, 2, 200, 10));
+  EXPECT_EQ(plan.Classify(big_win), PlanDelta::kBasisExtend);
+
+  // Structural mismatches: rebuild.
+  Workload time_windows(WindowType::kTime);
+  time_windows.AddQuery(OutlierQuery(1.0, 3, 100, 10));
+  EXPECT_EQ(plan.Classify(time_windows), PlanDelta::kRebuild);
+  EXPECT_EQ(plan.Classify(Workload(WindowType::kCount)),
+            PlanDelta::kRebuild);
+}
+
+TEST(PlanDeltaTest, ExactBasisRejectsSameLayerAddBeyondItsEvidence) {
+  // Exact plan: the k=5 group stops at layer 1, so the Def-6 table prunes
+  // layer-2 evidence for counts >= 2 — a later (r=2, k=5) add is NOT
+  // overlay-safe even though r=2 is an existing layer.
+  Workload w = MakeWorkload(
+      {OutlierQuery(1.0, 5, 100, 10), OutlierQuery(2.0, 2, 100, 10)});
+  Workload grown = w;
+  grown.AddQuery(OutlierQuery(2.0, 5, 100, 10));
+
+  WorkloadPlan exact(w);
+  EXPECT_EQ(exact.Classify(grown), PlanDelta::kBasisExtend);
+
+  // The elastic basis keeps every layer alive to the full k envelope, so
+  // the same add becomes overlay-only.
+  WorkloadPlan elastic(w, PlanHeadroom::Elastic());
+  EXPECT_EQ(elastic.Classify(grown), PlanDelta::kOverlayOnly);
+}
+
+TEST(PlanDeltaTest, HeadroomReservesLayersAndKSlack) {
+  Workload w = MakeWorkload({OutlierQuery(1.0, 2, 100, 10)});
+
+  PlanHeadroom reserve_r;
+  reserve_r.r_values = {3.0};
+  WorkloadPlan with_r(w, reserve_r);
+  EXPECT_EQ(with_r.num_layers(), 2);
+  Workload at_reserved = w;
+  at_reserved.AddQuery(OutlierQuery(3.0, 2, 100, 10));
+  EXPECT_EQ(with_r.Classify(at_reserved), PlanDelta::kOverlayOnly);
+
+  PlanHeadroom slack = PlanHeadroom::Elastic();
+  slack.k_slack = 3;
+  WorkloadPlan with_slack(w, slack);
+  EXPECT_EQ(with_slack.k_max(), 5);
+  Workload deeper = w;
+  deeper.AddQuery(OutlierQuery(1.0, 5, 100, 10));
+  EXPECT_EQ(with_slack.Classify(deeper), PlanDelta::kOverlayOnly);
+
+  PlanHeadroom floor;
+  floor.win_floor = 400;
+  WorkloadPlan with_floor(w, floor);
+  EXPECT_EQ(with_floor.win_max(), 400);
+  Workload wider = w;
+  wider.AddQuery(OutlierQuery(1.0, 2, 300, 10));
+  EXPECT_EQ(with_floor.Classify(wider), PlanDelta::kOverlayOnly);
+}
+
+TEST(PlanDeltaTest, ApplyOverlaySwapsWithoutTouchingBasis) {
+  Workload w = MakeWorkload(
+      {OutlierQuery(1.0, 3, 100, 10), OutlierQuery(2.0, 2, 100, 10)});
+  WorkloadPlan plan(w);
+  const WorkloadPlan::Basis before = plan.basis();
+
+  Workload removed = MakeWorkload({OutlierQuery(2.0, 2, 100, 10)});
+  ASSERT_TRUE(plan.ApplyOverlay(removed));
+  EXPECT_TRUE(plan.basis() == before);  // basis untouched
+  EXPECT_EQ(plan.workload().num_queries(), 1u);
+  EXPECT_EQ(plan.num_groups(), 1);
+  EXPECT_EQ(plan.layer_of_query(0), 2);  // r=2 is still layer 2
+  EXPECT_EQ(plan.num_layers(), 2);       // both layers remain compiled
+
+  // A basis-extending next leaves the plan unchanged and returns false.
+  Workload grown = removed;
+  grown.AddQuery(OutlierQuery(5.0, 2, 100, 10));
+  EXPECT_FALSE(plan.ApplyOverlay(grown));
+  EXPECT_EQ(plan.workload().num_queries(), 1u);
+  EXPECT_TRUE(plan.basis() == before);
+}
+
+TEST(PlanDeltaTest, AdoptBasisRequiresCoverage) {
+  Workload w = MakeWorkload({OutlierQuery(1.0, 3, 100, 10)});
+  WorkloadPlan plan(w);
+
+  // A wider basis (elastic, extra layer, extra k) covers the workload.
+  PlanHeadroom wide = PlanHeadroom::Elastic();
+  wide.r_values = {2.0};
+  wide.k_slack = 2;
+  const WorkloadPlan donor(w, wide);
+  ASSERT_TRUE(plan.AdoptBasis(donor.basis()));
+  EXPECT_EQ(plan.num_layers(), 2);
+  EXPECT_EQ(plan.k_max(), 5);
+  EXPECT_EQ(plan.layer_of_query(0), 1);
+
+  // A basis compiled for a different radius cannot cover r=1.
+  const WorkloadPlan stranger(
+      MakeWorkload({OutlierQuery(4.0, 3, 100, 10)}));
+  EXPECT_FALSE(plan.AdoptBasis(stranger.basis()));
+  EXPECT_EQ(plan.num_layers(), 2);  // unchanged
+}
+
 }  // namespace
 }  // namespace sop

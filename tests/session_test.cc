@@ -2,15 +2,25 @@
 // stream with history replay.
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "sop/common/random.h"
 #include "sop/core/session.h"
+#include "sop/detector/factory.h"
+#include "sop/obs/metrics.h"
 #include "test_util.h"
 
 namespace sop {
 namespace {
+
+// Current value of a global obs counter (0 when never touched).
+uint64_t CounterValue(const std::string& name) {
+  const obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
 
 std::vector<Point> SessionStream(int64_t n, uint64_t seed) {
   Rng rng(seed);
@@ -205,6 +215,175 @@ TEST(SopSessionTest, SinkOverloadMatchesVectorOverload) {
       EXPECT_EQ(sunk[i].outliers, expected[i].outliers);
     }
   }
+}
+
+// THE contract of the tiered change path (ISSUE acceptance criterion): on
+// the default SopDetector, adding a query whose r is an existing layer
+// (k within the envelope) and removing any query are overlay swaps — the
+// session/replayed_points counter must not move.
+TEST(SopSessionTest, OverlayChangesNeverReplayHistory) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+
+  const std::vector<Point> points = SessionStream(128, 21);
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  const QueryId base = session.AddQuery(OutlierQuery(1.5, 3, 16, 4));
+  Drive(&session, points, 4, 0, 12);
+  EXPECT_EQ(session.change_stats().rebuilds, 1u);  // the initial compile
+
+  const uint64_t replayed_before = CounterValue("session/replayed_points");
+  const uint64_t replayed_stat_before =
+      session.change_stats().replayed_points;
+
+  // Add at the existing layer with k inside the envelope: overlay-only.
+  const QueryId same_layer = session.AddQuery(OutlierQuery(1.5, 2, 8, 4));
+  auto mid = Drive(&session, points, 4, 12, 20);
+  EXPECT_TRUE(mid.count(same_layer));
+  EXPECT_EQ(CounterValue("session/replayed_points"), replayed_before);
+  EXPECT_EQ(session.change_stats().replayed_points, replayed_stat_before);
+  EXPECT_EQ(session.change_stats().overlay_changes, 1u);
+
+  // Any removal: overlay-only.
+  ASSERT_TRUE(session.RemoveQuery(same_layer));
+  auto late = Drive(&session, points, 4, 20, 28);
+  EXPECT_FALSE(late.count(same_layer));
+  EXPECT_TRUE(late.count(base));
+  EXPECT_EQ(CounterValue("session/replayed_points"), replayed_before);
+  EXPECT_EQ(session.change_stats().replayed_points, replayed_stat_before);
+  EXPECT_EQ(session.change_stats().overlay_changes, 2u);
+  EXPECT_EQ(CounterValue("session/change/overlay"), 2u);
+  EXPECT_EQ(session.change_stats().rebuilds, 1u);  // still just the compile
+}
+
+// A new r layer (or k beyond the envelope) is NOT overlay-safe — skyband
+// pruning may already have discarded the evidence the new layer needs — so
+// those adds must be realized as basis-extend rebuilds, and counted.
+TEST(SopSessionTest, BasisGrowthForcesRebuildAndIsCounted) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+
+  const std::vector<Point> points = SessionStream(128, 23);
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  session.AddQuery(OutlierQuery(1.5, 3, 16, 4));
+  Drive(&session, points, 4, 0, 8);
+
+  // New radius: new layer.
+  session.AddQuery(OutlierQuery(2.5, 2, 16, 4));
+  Drive(&session, points, 4, 8, 16);
+  EXPECT_EQ(session.change_stats().basis_extends, 1u);
+  EXPECT_EQ(session.change_stats().rebuilds, 2u);
+
+  // Existing radius but k above the compiled envelope.
+  session.AddQuery(OutlierQuery(1.5, 7, 16, 4));
+  Drive(&session, points, 4, 16, 24);
+  EXPECT_EQ(session.change_stats().basis_extends, 2u);
+  EXPECT_EQ(session.change_stats().rebuilds, 3u);
+  EXPECT_EQ(CounterValue("session/change/basis_extend"), 2u);
+  EXPECT_GT(session.change_stats().replayed_points, 0u);
+  EXPECT_EQ(session.change_stats().overlay_changes, 0u);
+}
+
+// Under the exact paper basis (no headroom) removals — and re-adds of
+// queries the basis was compiled for — are still overlay swaps.
+TEST(SopSessionTest, ExactBasisStillOverlaysRemovalsAndReAdds) {
+  const std::vector<Point> points = SessionStream(128, 29);
+  SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+  session.SetBasisHeadroom(PlanHeadroom());  // exact basis
+  session.AddQuery(OutlierQuery(1.5, 2, 16, 4));
+  const QueryId churned = session.AddQuery(OutlierQuery(3.0, 4, 24, 8));
+  Drive(&session, points, 4, 0, 12);
+
+  ASSERT_TRUE(session.RemoveQuery(churned));
+  Drive(&session, points, 4, 12, 16);
+  EXPECT_EQ(session.change_stats().overlay_changes, 1u);
+
+  session.AddQuery(OutlierQuery(3.0, 4, 24, 8));  // was a compiled demand
+  Drive(&session, points, 4, 16, 20);
+  EXPECT_EQ(session.change_stats().overlay_changes, 2u);
+  EXPECT_EQ(session.change_stats().rebuilds, 1u);
+  EXPECT_EQ(session.change_stats().replayed_points, 0u);
+}
+
+// Regression for the old Rebuild() boundary dance: an AddQuery landing
+// exactly on an emission boundary must not double-advance the in-flight
+// batch. Emissions after the change must be bit-identical to a
+// from-the-start run — on the default SopDetector path (overlay swap) and
+// on a DetectorBuilder hook (rebuild-and-replay) alike.
+TEST(SopSessionTest, AddOnEmissionBoundaryEmitsExactlyOnce) {
+  const std::vector<Point> points = SessionStream(96, 31);
+  const OutlierQuery q_initial(1.5, 3, 16, 4);
+  const OutlierQuery q_late(1.5, 2, 16, 4);  // same layer: overlay path
+
+  Workload full(WindowType::kCount);
+  full.AddQuery(q_initial);
+  full.AddQuery(q_late);
+  const std::vector<QueryResult> expected =
+      testing::ExpectedResults(full, points);
+
+  for (const bool use_builder : {false, true}) {
+    SCOPED_TRACE(use_builder ? "builder (rebuild-and-replay)"
+                             : "default (overlay)");
+    SopSession session(WindowType::kCount, Metric::kEuclidean, 64);
+    if (use_builder) {
+      session.SetDetectorBuilder([](const Workload& w) {
+        return CreateDetector("naive", w);
+      });
+    }
+    const QueryId initial_id = session.AddQuery(q_initial);
+    Drive(&session, points, 4, 0, 12);
+    // Boundary 48 is an emission boundary of both queries (win 16, slide
+    // 4): the change lands exactly where the old code's replay-to-previous
+    // -boundary dance was most suspect.
+    const QueryId late_id = session.AddQuery(q_late);
+    auto after = Drive(&session, points, 4, 12, 24);
+
+    std::map<int64_t, const QueryResult*> expected_late, expected_initial;
+    for (const QueryResult& r : expected) {
+      if (r.boundary <= 48) continue;
+      (r.query_index == 0 ? expected_initial : expected_late)[r.boundary] =
+          &r;
+    }
+    ASSERT_EQ(after[late_id].size(), expected_late.size());
+    for (const SessionResult& r : after[late_id]) {
+      ASSERT_TRUE(expected_late.count(r.boundary)) << r.boundary;
+      EXPECT_EQ(r.outliers, expected_late[r.boundary]->outliers)
+          << "late @ " << r.boundary;
+    }
+    ASSERT_EQ(after[initial_id].size(), expected_initial.size());
+    for (const SessionResult& r : after[initial_id]) {
+      ASSERT_TRUE(expected_initial.count(r.boundary)) << r.boundary;
+      EXPECT_EQ(r.outliers, expected_initial[r.boundary]->outliers)
+          << "initial @ " << r.boundary;
+    }
+  }
+}
+
+// A restored session folds the saved basis coverage into its next rebuild,
+// so a change that was overlay-only before the restart stays overlay-only
+// after it.
+TEST(SopSessionTest, RestoredSessionKeepsOverlayCoverage) {
+  const std::vector<Point> points = SessionStream(128, 37);
+  SopSession saved(WindowType::kCount, Metric::kEuclidean, 64);
+  saved.AddQuery(OutlierQuery(1.5, 3, 16, 4));
+  Drive(&saved, points, 4, 0, 12);
+  const std::string blob = saved.SaveState();
+
+  SopSession restored(WindowType::kCount, Metric::kEuclidean, 64);
+  std::string error;
+  ASSERT_TRUE(restored.LoadState(blob, &error)) << error;
+  // First batch after restore: the lazy rebuild (+ history replay).
+  Drive(&restored, points, 4, 12, 13);
+  EXPECT_EQ(restored.change_stats().rebuilds, 1u);
+  const uint64_t replayed = restored.change_stats().replayed_points;
+  EXPECT_GT(replayed, 0u);
+
+  // Same layer, k inside the restored envelope: still an overlay swap.
+  const QueryId added = restored.AddQuery(OutlierQuery(1.5, 2, 8, 4));
+  auto results = Drive(&restored, points, 4, 13, 20);
+  EXPECT_TRUE(results.count(added));
+  EXPECT_EQ(restored.change_stats().overlay_changes, 1u);
+  EXPECT_EQ(restored.change_stats().rebuilds, 1u);
+  EXPECT_EQ(restored.change_stats().replayed_points, replayed);
 }
 
 TEST(SopSessionTest, RejectsInvalidQueries) {

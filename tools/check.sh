@@ -9,11 +9,12 @@
 # ingest/worker/connection races the overload queue and the server's
 # per-connection threads could hide.
 #
-# The asan pass also stretches the corruption fuzz loops — the checkpoint
-# fuzz in recovery_test and the wire-frame fuzz in protocol_test — to ~2s
-# each (SOP_FUZZ_MS); fuzz seeds are randomized per run and printed by the
-# tests, so a failing run can be replayed exactly with
-# SOP_FUZZ_SEED=<seed> tools/check.sh.
+# The asan pass also stretches the randomized fuzz loops — the checkpoint
+# fuzz in recovery_test, the wire-frame fuzz in protocol_test, and the
+# workload-churn fuzz in churn_fuzz_test — to ~2s each (SOP_FUZZ_MS); the
+# churn fuzz additionally runs under tsan. Fuzz seeds are randomized per
+# run and printed by the tests, so a failing run can be replayed exactly
+# with SOP_FUZZ_SEED=<seed> tools/check.sh.
 #
 # Every cmake configure is checked explicitly so a broken preset or
 # missing dependency fails the run immediately with a clear message,
@@ -40,7 +41,7 @@ ctest --preset asan -j"$(nproc)" "$@"
 
 configure tsan
 cmake --build --preset tsan -j"$(nproc)"
-ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test' "$@"
+ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test|churn_fuzz_test' "$@"
 
 configure noobs
 cmake --build --preset noobs -j"$(nproc)"

@@ -8,6 +8,7 @@
 //           [--on-bad-record fail|skip|clamp] [--quarantine PATH]
 //           [--checkpoint PATH] [--checkpoint-every N] [--resume-from PATH]
 //           [--queue N] [--overload block|drop-oldest]
+//           [--churn-every N]
 //           [--fault-rate SITE=RATE[,...]] [--fault-seed S] [--fault-max N]
 //
 // The workload spec format is documented in sop/io/workload_parser.h and
@@ -41,8 +42,18 @@
 //     e.g. --fault-rate source-read=0.01,checkpoint-bytes=1; --fault-seed
 //     makes the failure schedule reproducible and --fault-max caps the
 //     number of injected failures per site so retry loops terminate.
+//
+// Workload churn (DESIGN.md Sec. 14):
+//   --churn-every N runs the workload through a dynamic SopSession instead
+//     of the batch engine: after every N batches one query (round-robin) is
+//     removed and re-registered. With 'sop'/'sop-grid' those churns ride
+//     the session's overlay-swap path (no history replay); other detectors
+//     rebuild-and-replay. Prints per-churn latency and the session's
+//     change statistics, so the two regimes are directly comparable.
+//     Incompatible with --resume-from/--checkpoint/--queue (engine-only).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +63,7 @@
 #include <vector>
 
 #include "sop/common/fault.h"
+#include "sop/core/session.h"
 #include "sop/detector/engine.h"
 #include "sop/detector/factory.h"
 #include "sop/detector/run_checkpoint.h"
@@ -62,6 +74,7 @@
 #include "sop/obs/export.h"
 #include "sop/obs/metrics.h"
 #include "sop/report/aggregate.h"
+#include "sop/stream/window.h"
 
 namespace {
 
@@ -78,6 +91,7 @@ void Usage(const char* argv0) {
       "          [--checkpoint PATH] [--checkpoint-every N]"
       " [--resume-from PATH]\n"
       "          [--queue N] [--overload block|drop-oldest]\n"
+      "          [--churn-every N]\n"
       "          [--fault-rate SITE=RATE[,...]] [--fault-seed S]"
       " [--fault-max N]\n",
       argv0);
@@ -118,6 +132,150 @@ std::vector<std::string> SplitCommas(const std::string& s) {
   return parts;
 }
 
+// Session-mode run for --churn-every: streams `points` through a dynamic
+// SopSession hosting `name`, removing + re-registering one query
+// (round-robin) every `churn_every` batches. The change is realized by the
+// next Advance, so that batch's latency is tracked separately from steady
+// batches — it carries the overlay swap (sop/sop-grid) or the
+// rebuild-and-replay (everything else).
+int RunSessionChurn(const std::string& name, const sop::Workload& workload,
+                    const std::vector<sop::Point>& points, int64_t churn_every,
+                    bool print_outliers, int64_t max_print) {
+  using namespace sop;
+  using Clock = std::chrono::steady_clock;
+
+  SopSession session(workload.window_type(), workload.metric(),
+                     workload.MaxWindow());
+  if (name == "sop" || name == "sop-grid") {
+    SopDetector::Options options;
+    options.use_grid_index = name == "sop-grid";
+    session.UseSopDetector(options);
+  } else {
+    session.SetDetectorBuilder([name](const Workload& w) {
+      return CreateDetector(name, w);
+    });
+  }
+  std::vector<QueryId> ids;
+  for (const OutlierQuery& query : workload.queries()) {
+    ids.push_back(session.AddQuery(query));
+  }
+
+  std::fprintf(stderr,
+               "churning %zu queries through a '%s' session "
+               "(one remove+re-add every %lld batches)...\n",
+               workload.num_queries(), name.c_str(),
+               static_cast<long long>(churn_every));
+
+  uint64_t batches = 0;
+  uint64_t emissions = 0;
+  uint64_t churns = 0;
+  int64_t printed = 0;
+  bool churn_pending = false;
+  double steady_ms = 0.0, steady_ms_max = 0.0;
+  double churn_ms = 0.0, churn_ms_max = 0.0;
+  uint64_t steady_batches = 0, churn_batches = 0;
+
+  auto ship = [&](std::vector<Point> chunk, int64_t boundary) {
+    const auto t0 = Clock::now();
+    const std::vector<SessionResult> results =
+        session.Advance(std::move(chunk), boundary);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (churn_pending) {
+      ++churn_batches;
+      churn_ms += ms;
+      churn_ms_max = std::max(churn_ms_max, ms);
+      churn_pending = false;
+    } else {
+      ++steady_batches;
+      steady_ms += ms;
+      steady_ms_max = std::max(steady_ms_max, ms);
+    }
+    ++batches;
+    for (const SessionResult& r : results) {
+      if (r.outliers.empty()) continue;
+      ++emissions;
+      if (!print_outliers || printed >= max_print) continue;
+      ++printed;
+      std::printf("query %lld @ %lld:",
+                  static_cast<long long>(r.query_id),
+                  static_cast<long long>(r.boundary));
+      size_t shown = 0;
+      for (Seq s : r.outliers) {
+        if (++shown > 16) {
+          std::printf(" ... (%zu total)", r.outliers.size());
+          break;
+        }
+        std::printf(" %lld", static_cast<long long>(s));
+      }
+      std::printf("\n");
+    }
+    if (batches % static_cast<uint64_t>(churn_every) == 0) {
+      const size_t j = static_cast<size_t>(churns % ids.size());
+      session.RemoveQuery(ids[j]);
+      ids[j] = session.AddQuery(workload.query(j));
+      ++churns;
+      churn_pending = true;  // realized by the next Advance
+    }
+  };
+
+  const int64_t span = workload.SlideGcd();
+  if (workload.window_type() == WindowType::kCount) {
+    // Count windows: boundary = cumulative point count, a multiple of the
+    // slide gcd; a trailing partial batch cannot form a boundary.
+    size_t start = 0;
+    for (; start + static_cast<size_t>(span) <= points.size();
+         start += static_cast<size_t>(span)) {
+      ship(std::vector<Point>(
+               points.begin() + static_cast<ptrdiff_t>(start),
+               points.begin() + static_cast<ptrdiff_t>(start) +
+                   static_cast<ptrdiff_t>(span)),
+           static_cast<int64_t>(start) + span);
+    }
+    if (start < points.size()) {
+      std::fprintf(stderr, "dropped %zu trailing points (< one slide gcd)\n",
+                   points.size() - start);
+    }
+  } else {
+    // Time windows: cut at multiples of the slide gcd, advancing through
+    // empty spans, exactly like the engine.
+    int64_t boundary = FirstBoundaryAtOrAfter(points.front().time + 1, span);
+    std::vector<Point> chunk;
+    for (const Point& p : points) {
+      while (p.time >= boundary) {
+        ship(std::move(chunk), boundary);
+        chunk.clear();
+        boundary += span;
+      }
+      chunk.push_back(p);
+    }
+    if (!chunk.empty()) ship(std::move(chunk), boundary);
+  }
+
+  const SessionChangeStats& change = session.change_stats();
+  std::printf("[%s] churn: %llu batches, %llu non-empty emissions, "
+              "%llu churns\n",
+              name.c_str(), static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(emissions),
+              static_cast<unsigned long long>(churns));
+  std::printf("[%s] churn: steady batch mean %.3f ms max %.3f ms; "
+              "change-realizing batch mean %.3f ms max %.3f ms\n",
+              name.c_str(),
+              steady_batches > 0 ? steady_ms / steady_batches : 0.0,
+              steady_ms_max,
+              churn_batches > 0 ? churn_ms / churn_batches : 0.0,
+              churn_ms_max);
+  std::printf("[%s] churn: %llu overlay swaps, %llu rebuilds "
+              "(%llu basis extends), replayed %llu batches / %llu points\n",
+              name.c_str(),
+              static_cast<unsigned long long>(change.overlay_changes),
+              static_cast<unsigned long long>(change.rebuilds),
+              static_cast<unsigned long long>(change.basis_extends),
+              static_cast<unsigned long long>(change.replayed_batches),
+              static_cast<unsigned long long>(change.replayed_points));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,6 +298,7 @@ int main(int argc, char** argv) {
   std::string resume_path;
   size_t queue_batches = 0;
   OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  int64_t churn_every = 0;
   std::vector<std::string> fault_specs;
   uint64_t fault_seed = 1;
   int64_t fault_max = -1;
@@ -219,6 +378,12 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "--overload: unknown policy '%s'\n",
                      policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--churn-every") {
+      churn_every = std::atoll(next());
+      if (churn_every <= 0) {
+        std::fprintf(stderr, "--churn-every must be positive\n");
         return 2;
       }
     } else if (arg == "--fault-rate") {
@@ -344,6 +509,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fault injection armed (seed %llu)\n",
                  static_cast<unsigned long long>(fault_seed));
     FaultInjector::Arm(&injector);
+  }
+
+  if (churn_every > 0) {
+    if (!resume_path.empty() || !checkpoint_path.empty() ||
+        queue_batches > 0) {
+      std::fprintf(stderr,
+                   "--churn-every runs a dynamic session; drop "
+                   "--resume-from/--checkpoint/--queue\n");
+      if (inject) FaultInjector::Disarm();
+      return 2;
+    }
+    if (want_metrics) {
+      std::fprintf(stderr, "--metrics-out is ignored with --churn-every\n");
+    }
+    int rc = 0;
+    for (const std::string& name : detectors) {
+      rc = RunSessionChurn(name, workload, points, churn_every,
+                           print_outliers, max_print);
+      if (rc != 0) break;
+    }
+    if (inject) FaultInjector::Disarm();
+    return rc;
   }
 
   std::string runs_json;

@@ -4,6 +4,7 @@
 // Usage:
 //   sop_client --port P [--host H] --subscribe R,K,WIN,SLIDE [...]
 //              --data points.csv [--batch B | --span S] [--max-print N]
+//              [--churn-every N]
 //
 // The client subscribes every --subscribe query (repeatable; parameters
 // match one workload spec line), then slices the CSV stream into ingest
@@ -13,8 +14,16 @@
 // slides), advancing through empty spans. Each batch's emissions are
 // printed as they arrive — the server delivers them ahead of the batch's
 // ack, so output is in stream order.
+//
+// --churn-every N exercises the server's incremental workload path: after
+// every N ingested batches one subscription (round-robin) is dropped and
+// re-registered, and the round-trip latency of the re-subscribe is
+// reported at the end. Against a sop/sop-grid server these churns are
+// overlay swaps (no history replay) — compare the same run against
+// --exact-basis or another detector to see the rebuild cost.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +42,8 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port P [--host H] --subscribe R,K,WIN,SLIDE [...]\n"
-      "          --data points.csv [--batch B | --span S] [--max-print N]\n",
+      "          --data points.csv [--batch B | --span S] [--max-print N]\n"
+      "          [--churn-every N]\n",
       argv0);
 }
 
@@ -85,6 +95,7 @@ int main(int argc, char** argv) {
   int64_t batch = 128;
   int64_t span = 0;
   int64_t max_print = 20;
+  int64_t churn_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,6 +135,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--max-print") {
       max_print = std::atoll(next());
+    } else if (arg == "--churn-every") {
+      churn_every = std::atoll(next());
+      if (churn_every <= 0) {
+        std::fprintf(stderr, "--churn-every must be positive\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -181,6 +198,35 @@ int main(int argc, char** argv) {
   int64_t printed = 0;
   uint64_t total_emissions = 0;
   uint64_t batches = 0;
+  uint64_t churns = 0;
+  double churn_us_total = 0.0;
+  double churn_us_max = 0.0;
+
+  // Drop one subscription (round-robin) and re-register it, timing the
+  // unsubscribe+subscribe round trip — the client-visible cost of one
+  // workload change on the server.
+  auto churn = [&]() -> bool {
+    const size_t j = static_cast<size_t>(churns % ids.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!client.Unsubscribe(ids[j], &error)) {
+      std::fprintf(stderr, "churn unsubscribe error: %s\n", error.c_str());
+      return false;
+    }
+    const int64_t id = client.Subscribe(queries[j], &error);
+    if (id == 0) {
+      std::fprintf(stderr, "churn resubscribe error: %s\n", error.c_str());
+      return false;
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    ids[j] = id;
+    ++churns;
+    churn_us_total += us;
+    churn_us_max = std::max(churn_us_max, us);
+    return true;
+  };
+
   auto ship = [&](std::vector<Point> chunk, int64_t boundary) -> bool {
     net::IngestAckMsg ack;
     if (!client.Ingest(boundary, chunk, &ack, &error)) {
@@ -195,6 +241,9 @@ int main(int argc, char** argv) {
     }
     ++batches;
     PrintEmissions(&client, max_print, &printed, &total_emissions);
+    if (churn_every > 0 && batches % static_cast<uint64_t>(churn_every) == 0) {
+      return churn();
+    }
     return true;
   };
 
@@ -252,5 +301,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(total_emissions),
                static_cast<unsigned long long>(client.bytes_sent()),
                static_cast<unsigned long long>(client.bytes_received()));
+  if (churns > 0) {
+    std::fprintf(stderr,
+                 "churned %llu subscriptions: mean %.1f us, max %.1f us "
+                 "per unsubscribe+resubscribe\n",
+                 static_cast<unsigned long long>(churns),
+                 churn_us_total / static_cast<double>(churns), churn_us_max);
+  }
   return 0;
 }

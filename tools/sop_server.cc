@@ -6,6 +6,8 @@
 //              [--history-window N] [--send-queue N]
 //              [--overload block|drop-oldest] [--ingest-queue N]
 //              [--checkpoint PATH] [--checkpoint-every N] [--threads N]
+//              [--exact-basis] [--headroom-r R[,R...]] [--headroom-k N]
+//              [--headroom-win N]
 //              [--metrics] [--fault-rate SITE=RATE[,...]] [--fault-seed S]
 //              [--fault-max N]
 //
@@ -44,8 +46,16 @@ void Usage(const char* argv0) {
       "          [--history-window N] [--send-queue N]\n"
       "          [--overload block|drop-oldest] [--ingest-queue N]\n"
       "          [--checkpoint PATH] [--checkpoint-every N] [--threads N]\n"
+      "          [--exact-basis] [--headroom-r R[,R...]] [--headroom-k N]\n"
+      "          [--headroom-win N]\n"
       "          [--metrics] [--fault-rate SITE=RATE[,...]] [--fault-seed S]\n"
-      "          [--fault-max N]\n",
+      "          [--fault-max N]\n"
+      "\n"
+      "Basis headroom (sop/sop-grid detectors only): the default elastic\n"
+      "basis makes every subscribe at an already-served radius an in-place\n"
+      "overlay swap. --exact-basis compiles the paper's exact plan instead\n"
+      "(maximal pruning, rebuild-heavy churn); --headroom-r/-k/-win reserve\n"
+      "extra radii / skyband depth / window span on top.\n",
       argv0);
 }
 
@@ -157,6 +167,31 @@ int main(int argc, char** argv) {
       options.checkpoint_every_batches = std::atoll(next());
     } else if (arg == "--threads") {
       options.num_threads = std::atoi(next());
+    } else if (arg == "--exact-basis") {
+      options.headroom.elastic = false;
+    } else if (arg == "--headroom-r") {
+      for (const std::string& spec : SplitCommas(next())) {
+        char* end = nullptr;
+        const double r = std::strtod(spec.c_str(), &end);
+        if (end == nullptr || *end != '\0' || !(r > 0.0)) {
+          std::fprintf(stderr, "--headroom-r: bad radius '%s'\n",
+                       spec.c_str());
+          return 2;
+        }
+        options.headroom.r_values.push_back(r);
+      }
+    } else if (arg == "--headroom-k") {
+      options.headroom.k_slack = std::atoll(next());
+      if (options.headroom.k_slack < 0) {
+        std::fprintf(stderr, "--headroom-k: expect N >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--headroom-win") {
+      options.headroom.win_floor = std::atoll(next());
+      if (options.headroom.win_floor < 0) {
+        std::fprintf(stderr, "--headroom-win: expect N >= 0\n");
+        return 2;
+      }
     } else if (arg == "--metrics") {
       want_metrics = true;
     } else if (arg == "--fault-rate") {
@@ -236,6 +271,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.shed_emissions),
                static_cast<unsigned long long>(stats.protocol_errors),
                static_cast<unsigned long long>(stats.checkpoints));
+  std::fprintf(stderr,
+               "workload changes: %llu overlay swaps, %llu rebuilds "
+               "(%llu basis extends), %llu points replayed\n",
+               static_cast<unsigned long long>(stats.overlay_changes),
+               static_cast<unsigned long long>(stats.rebuild_changes),
+               static_cast<unsigned long long>(stats.basis_extends),
+               static_cast<unsigned long long>(stats.replayed_points));
   if (want_metrics) {
     const obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
     std::fprintf(stderr, "%s\n", obs::ToJson(snap).c_str());
