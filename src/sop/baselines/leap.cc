@@ -1,5 +1,6 @@
 #include "sop/baselines/leap.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sop/common/check.h"
@@ -9,6 +10,14 @@
 
 namespace sop {
 
+namespace {
+// Cursor probes run through the batch kernel in blocks of this many
+// points. Smaller than K-SKY's confirmation block: a LEAP probe often
+// stops after ~k successes, so a large block would mostly compute
+// distances the minimal-probing cursor never consumes.
+constexpr size_t kProbeBlock = 32;
+}  // namespace
+
 LeapDetector::LeapDetector(const Workload& workload)
     : workload_(workload), buffer_(workload.window_type()) {
   const std::string problem = workload_.Validate();
@@ -16,11 +25,15 @@ LeapDetector::LeapDetector(const Workload& workload)
   win_max_ = workload_.MaxWindow();
   states_.reserve(workload_.num_queries());
   for (size_t i = 0; i < workload_.num_queries(); ++i) {
+    DistanceFn dist = workload_.MakeDistanceFn(i);
+    DistanceKernel kernel = dist.MakeKernel();
     states_.push_back(QueryState{workload_.query(i),
-                                 workload_.MakeDistanceFn(i),
+                                 std::move(dist),
+                                 std::move(kernel),
                                  /*first_seq=*/0,
                                  {}});
   }
+  probe_dists_.resize(kProbeBlock);
 }
 
 std::vector<QueryResult> LeapDetector::Advance(std::vector<Point> batch,
@@ -83,7 +96,14 @@ std::vector<QueryResult> LeapDetector::Advance(std::vector<Point> batch,
         stats_.safe_points_discovered - obs_reported_.safe_points_discovered);
     SOP_GAUGE_SET("leap/alive_points",
                   buffer_.next_seq() - buffer_.first_seq());
+    SOP_COUNTER_ADD("kernel/batches", kernel_batches_ - reported_kernel_batches_);
+    SOP_COUNTER_ADD("kernel/candidates",
+                    kernel_candidates_ - reported_kernel_candidates_);
+    SOP_COUNTER_ADD("kernel/hits", kernel_hits_ - reported_kernel_hits_);
     obs_reported_ = stats_;
+    reported_kernel_batches_ = kernel_batches_;
+    reported_kernel_candidates_ = kernel_candidates_;
+    reported_kernel_hits_ = kernel_hits_;
   }
   return results;
 }
@@ -110,23 +130,47 @@ bool LeapDetector::EvaluatePoint(QueryState& qs, Seq s, Seq window_begin,
   const Point& p = buffer_.At(s);
   const double r = qs.query.r;
   // Probe the new (succeeding) side first — lifespan-aware prioritization:
-  // succeeding evidence never expires while p is alive.
+  // succeeding evidence never expires while p is alive. Distances come
+  // from the batch kernel, kProbeBlock contiguous points per call; the
+  // cursor consumes them in the same order — and stops at the same point —
+  // as the old per-pair probe, so evidence and stats are unchanged.
+  const ColumnStore& cols = buffer_.columns();
   Seq t = e.right_cursor;
-  for (; total < k && t < buffer_.next_seq(); ++t) {
-    ++stats_.distances_computed;
-    if (qs.dist(p, buffer_.At(t)) <= r) {
-      ++e.succ_count;
-      ++total;
+  while (total < k && t < buffer_.next_seq()) {
+    const size_t nb = std::min(
+        kProbeBlock, static_cast<size_t>(buffer_.next_seq() - t));
+    qs.kernel.BatchDistRange(cols, p, t, nb, probe_dists_.data());
+    ++kernel_batches_;
+    kernel_candidates_ += nb;
+    size_t j = 0;
+    for (; j < nb && total < k; ++j) {
+      ++stats_.distances_computed;
+      if (probe_dists_[j] <= r) {
+        ++e.succ_count;
+        ++total;
+        ++kernel_hits_;
+      }
     }
+    t += static_cast<Seq>(j);
   }
   e.right_cursor = t;
   // Then resume the backward scan over older in-window points.
   Seq u = e.left_cursor - 1;
-  for (; total < k && u >= window_begin; --u) {
-    ++stats_.distances_computed;
-    if (qs.dist(p, buffer_.At(u)) <= r) {
-      e.pred_keys.push_back(buffer_.KeyOf(u));
-      ++total;
+  while (total < k && u >= window_begin) {
+    const Seq block_lo =
+        std::max(window_begin, u - static_cast<Seq>(kProbeBlock) + 1);
+    const size_t nb = static_cast<size_t>(u - block_lo + 1);
+    qs.kernel.BatchDistRange(cols, p, block_lo, nb, probe_dists_.data());
+    ++kernel_batches_;
+    kernel_candidates_ += nb;
+    while (u >= block_lo && total < k) {
+      ++stats_.distances_computed;
+      if (probe_dists_[static_cast<size_t>(u - block_lo)] <= r) {
+        e.pred_keys.push_back(buffer_.KeyOf(u));
+        ++total;
+        ++kernel_hits_;
+      }
+      --u;
     }
   }
   e.left_cursor = u + 1;

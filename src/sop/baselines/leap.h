@@ -22,6 +22,7 @@
 #include <deque>
 #include <vector>
 
+#include "sop/common/dist_kernel.h"
 #include "sop/common/distance.h"
 #include "sop/detector/detector.h"
 #include "sop/stream/stream_buffer.h"
@@ -63,6 +64,7 @@ class LeapDetector : public OutlierDetector {
   struct QueryState {
     OutlierQuery query;
     DistanceFn dist;
+    DistanceKernel kernel;           // batch form of dist (own subspace)
     Seq first_seq = 0;               // seq of evidence.front()
     std::deque<Evidence> evidence;   // per point inside the query's window
   };
@@ -78,6 +80,16 @@ class LeapDetector : public OutlierDetector {
   std::vector<QueryState> states_;
   Stats stats_;
   Stats obs_reported_;  // stats_ values already published to obs counters
+  // Cumulative kernel telemetry, diffed into the kernel/* counters once
+  // per Advance like stats_ (EvaluatePoint is too hot to instrument per
+  // probe block).
+  uint64_t kernel_batches_ = 0;
+  uint64_t kernel_candidates_ = 0;
+  uint64_t kernel_hits_ = 0;
+  uint64_t reported_kernel_batches_ = 0;
+  uint64_t reported_kernel_candidates_ = 0;
+  uint64_t reported_kernel_hits_ = 0;
+  std::vector<double> probe_dists_;  // per-block kernel output
   size_t last_results_bytes_ = 0;
 };
 

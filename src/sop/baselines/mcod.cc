@@ -42,6 +42,7 @@ McodDetector::McodDetector(const Workload& workload, Options options)
     : workload_(workload),
       options_(options),
       dist_(workload.MakeDistanceFn(0)),
+      kernel_(dist_.MakeKernel()),
       buffer_(workload.window_type()) {
   const std::string problem = workload_.Validate();
   SOP_CHECK_MSG(problem.empty(), problem.c_str());
@@ -80,34 +81,58 @@ void McodDetector::InsertPoint(Seq s) {
     ts.list.Append({p_key, d});
     if (d <= cluster_radius && ts.cluster < 0) scratch_close_.push_back(t);
   };
+  const ColumnStore& cols = buffer_.columns();
+  size_t candidates_examined = 0;
+  uint64_t kernel_hits = 0;
   if (grid_ != nullptr) {
     // Grid-assisted range query: batch the candidate superset into the
-    // reused scratch buffer, confirm exactly, and sort so p's own list
-    // stays ascending by key.
+    // reused scratch buffer, confirm every distance with one kernel call,
+    // and sort so p's own list stays ascending by key.
     grid_->CollectCandidates(p, r_max_, &scratch_seqs_);
-    scratch_candidates_.clear();
+    candidates_examined = scratch_seqs_.size();
+    // Only preceding points: p is not yet indexed, and succeeding points
+    // handle the pair when they arrive.
+    size_t m = 0;
     for (const Seq t : scratch_seqs_) {
-      if (t >= s) continue;  // only preceding points; p not yet indexed
-      const double d = dist_(p, buffer_.At(t));
-      if (d <= r_max_) scratch_candidates_.push_back({t, d});
+      if (t < s) scratch_seqs_[m++] = t;
+    }
+    scratch_dists_.resize(m);
+    const size_t hits = kernel_.PartitionWithinR(
+        cols, p, scratch_seqs_.data(), m, r_max_, scratch_dists_.data());
+    SOP_COUNTER_ADD("kernel/batches", 1);
+    SOP_COUNTER_ADD("kernel/candidates", m);
+    kernel_hits = hits;
+    scratch_candidates_.clear();
+    for (size_t i = 0; i < hits; ++i) {
+      scratch_candidates_.push_back({scratch_seqs_[i], scratch_dists_[i]});
     }
     std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
     for (const auto& [t, d] : scratch_candidates_) consider(t, d);
   } else {
-    for (Seq t = buffer_.first_seq(); t < s; ++t) {
-      const double d = dist_(p, buffer_.At(t));
-      if (d > r_max_) continue;
-      consider(t, d);
+    // Linear range scan, batched: one kernel call over the whole window
+    // prefix (MCOD has no early exit — every preceding point is checked).
+    const size_t m = static_cast<size_t>(s - buffer_.first_seq());
+    candidates_examined = m;
+    if (m > 0) {
+      const Seq lo = buffer_.first_seq();
+      scratch_dists_.resize(m);
+      kernel_.BatchDistRange(cols, p, lo, m, scratch_dists_.data());
+      SOP_COUNTER_ADD("kernel/batches", 1);
+      SOP_COUNTER_ADD("kernel/candidates", m);
+      for (size_t i = 0; i < m; ++i) {
+        const double d = scratch_dists_[i];
+        if (d > r_max_) continue;
+        ++kernel_hits;
+        consider(lo + static_cast<Seq>(i), d);
+      }
     }
   }
   if (grid_ != nullptr) grid_->Insert(s, p);
   if (SOP_OBS_ENABLED()) {
     SOP_COUNTER_ADD("mcod/range_scans", 1);
-    SOP_COUNTER_ADD("mcod/candidates_examined",
-                    grid_ != nullptr
-                        ? static_cast<uint64_t>(scratch_seqs_.size())
-                        : static_cast<uint64_t>(s - buffer_.first_seq()));
+    SOP_COUNTER_ADD("mcod/candidates_examined", candidates_examined);
     SOP_COUNTER_ADD("mcod/neighbors_retained", ps.list.size());
+    SOP_COUNTER_ADD("kernel/hits", kernel_hits);
   }
 
   // Micro-cluster maintenance for the simulated (k_max, r_min) query:

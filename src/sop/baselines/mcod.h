@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "sop/common/dist_kernel.h"
 #include "sop/common/distance.h"
 #include "sop/detector/detector.h"
 #include "sop/index/grid.h"
@@ -111,6 +112,7 @@ class McodDetector : public OutlierDetector {
   Workload workload_;
   Options options_;
   DistanceFn dist_;
+  DistanceKernel kernel_;  // batch form of dist_, over buffer_.columns()
   StreamBuffer buffer_;
   std::unique_ptr<GridIndex> grid_;  // only with options_.use_grid_index
   std::deque<PointState> states_;
@@ -123,6 +125,7 @@ class McodDetector : public OutlierDetector {
   size_t last_results_bytes_ = 0;
   std::vector<Seq> scratch_close_;  // unclustered points within r_min/2
   std::vector<Seq> scratch_seqs_;   // raw grid candidate superset
+  std::vector<double> scratch_dists_;  // kernel output, parallel to seqs
   std::vector<std::pair<Seq, double>> scratch_candidates_;  // confirmed hits
 };
 

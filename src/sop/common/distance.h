@@ -15,6 +15,8 @@
 
 namespace sop {
 
+class DistanceKernel;
+
 /// Supported distance metrics.
 enum class Metric {
   kEuclidean,
@@ -45,6 +47,11 @@ class DistanceFn {
 
   /// Computes dist_o(a, b).
   double operator()(const Point& a, const Point& b) const;
+
+  /// Batch-execution form of this function (common/dist_kernel.h): the
+  /// entry point detector hot loops confirm candidates through. Returns
+  /// distances bit-identical to operator() for every backend.
+  DistanceKernel MakeKernel() const;
 
  private:
   Metric metric_ = Metric::kEuclidean;

@@ -8,10 +8,22 @@
 
 namespace sop {
 
+namespace {
+// Candidate distances are confirmed through the batch kernel in blocks of
+// this many points: large enough to amortize the batch setup and fill the
+// SIMD lanes, small enough to bound the distances wasted when layer-1
+// saturation terminates a scan mid-block.
+constexpr size_t kBatchBlock = 64;
+}  // namespace
+
 KSky::KSky(const WorkloadPlan* plan, DistanceFn dist, Options options)
-    : plan_(plan), dist_(std::move(dist)), options_(options) {
+    : plan_(plan),
+      dist_(std::move(dist)),
+      kernel_(dist_.MakeKernel()),
+      options_(options) {
   SOP_CHECK(plan_ != nullptr);
   layer_counts_.Reset(plan_->num_layers());
+  batch_dists_.resize(kBatchBlock);
 }
 
 bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
@@ -23,39 +35,73 @@ bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
   layer1_count_ = 0;
 
   const WindowType type = buffer.type();
+  const ColumnStore& cols = buffer.columns();
   const int num_layers = plan_->num_layers();
   bool keep_scanning = true;
+  uint64_t kernel_hits = 0;
 
-  // Examines one buffer point: computes its distance and applies Def. 6.
-  auto examine_seq = [&](Seq s) {
-    const Point& c = buffer.At(s);
-    ++stats_.candidates_examined;
-    ++stats_.distances_computed;
-    const double d = dist_(p, c);
-    const int32_t layer = plan_->LayerOfDistance(d);
-    if (layer > num_layers) return;  // nobody's neighbor (Def. 5 c3)
-    keep_scanning = Examine(s, PointKey(c, type), layer);
+  // Window key of alive point `s`, resolved from the columns (the scan
+  // never touches the row Points).
+  auto key_of = [&](Seq s) -> int64_t {
+    return type == WindowType::kCount
+               ? static_cast<int64_t>(s)
+               : cols.time_column()[cols.SlotOf(s)];
   };
 
-  // Scans points with seq in [lo, hi) from newest to oldest, computing
-  // distances ("search from scratch" / the new-arrivals part of the
-  // incremental rescan). With an index-provided candidate list the scan
+  // Consumes one candidate whose distance the kernel already computed:
+  // applies Def. 6. Stats count only consumed candidates, exactly as the
+  // per-pair scan did — a block cut short by termination does not inflate
+  // them.
+  auto examine_with = [&](Seq s, double d) {
+    ++stats_.candidates_examined;
+    ++stats_.distances_computed;
+    const int32_t layer = plan_->LayerOfDistance(d);
+    if (layer > num_layers) return;  // nobody's neighbor (Def. 5 c3)
+    ++kernel_hits;
+    keep_scanning = Examine(s, key_of(s), layer);
+  };
+
+  // Scans points with seq in [lo, hi) from newest to oldest ("search from
+  // scratch" / the new-arrivals part of the incremental rescan). Distances
+  // come from the batch kernel, kBatchBlock candidates per call; the
+  // consumption order — and therefore the built skyband — is identical to
+  // the old per-pair scan. With an index-provided candidate list the scan
   // walks that list instead of every buffer seq: the skipped points all
-  // have distance > r_max, so the Examine sequence — and the built
-  // skyband — is unchanged.
+  // have distance > r_max, so the Examine sequence is unchanged.
   auto scan_buffer_range = [&](Seq lo, Seq hi) {
     if (candidates != nullptr) {
-      for (const Seq s : *candidates) {
-        if (!keep_scanning || s < lo) break;  // seq-descending list
-        if (s >= hi) continue;
-        SOP_DCHECK(s != p.seq);
-        examine_seq(s);
+      // The in-range candidates form one contiguous seq-descending
+      // sublist: entries >= hi lead it, entries < lo trail it.
+      const auto sub_begin =
+          std::lower_bound(candidates->begin(), candidates->end(), hi - 1,
+                           std::greater<Seq>());
+      const auto sub_end = std::lower_bound(sub_begin, candidates->end(),
+                                            lo - 1, std::greater<Seq>());
+      const Seq* base = candidates->data() + (sub_begin - candidates->begin());
+      const size_t m = static_cast<size_t>(sub_end - sub_begin);
+      for (size_t b = 0; b < m && keep_scanning; b += kBatchBlock) {
+        const size_t nb = std::min(kBatchBlock, m - b);
+        kernel_.BatchDist(cols, p, base + b, nb, batch_dists_.data());
+        SOP_COUNTER_ADD("kernel/batches", 1);
+        SOP_COUNTER_ADD("kernel/candidates", nb);
+        for (size_t j = 0; j < nb && keep_scanning; ++j) {
+          SOP_DCHECK(base[b + j] != p.seq);
+          examine_with(base[b + j], batch_dists_[j]);
+        }
       }
       return;
     }
-    for (Seq s = hi - 1; keep_scanning && s >= lo; --s) {
-      if (s == p.seq) continue;
-      examine_seq(s);
+    for (Seq end = hi; end > lo && keep_scanning;) {
+      const Seq begin = std::max(lo, end - static_cast<Seq>(kBatchBlock));
+      const size_t nb = static_cast<size_t>(end - begin);
+      kernel_.BatchDistRange(cols, p, begin, nb, batch_dists_.data());
+      SOP_COUNTER_ADD("kernel/batches", 1);
+      SOP_COUNTER_ADD("kernel/candidates", nb);
+      for (Seq s = end - 1; s >= begin && keep_scanning; --s) {
+        if (s == p.seq) continue;
+        examine_with(s, batch_dists_[static_cast<size_t>(s - begin)]);
+      }
+      end = begin;
     }
   };
 
@@ -77,7 +123,7 @@ bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
       // oldest — i.e., last-decided — ones). The expired skyband is
       // already exact; skip the re-admission pass.
       stats_.terminated_early = !keep_scanning;
-      if (SOP_OBS_ENABLED()) RecordScanObs(skyband->size());
+      if (SOP_OBS_ENABLED()) RecordScanObs(skyband->size(), kernel_hits);
       return IsSafeForAll(p, *skyband);
     }
     for (const SkybandEntry& e : old_entries_) {
@@ -95,15 +141,16 @@ bool KSky::EvaluatePoint(const Point& p, const StreamBuffer& buffer,
   }
 
   skyband->Swap(&build_);
-  if (SOP_OBS_ENABLED()) RecordScanObs(skyband->size());
+  if (SOP_OBS_ENABLED()) RecordScanObs(skyband->size(), kernel_hits);
   return IsSafeForAll(p, *skyband);
 }
 
-void KSky::RecordScanObs(size_t skyband_size) const {
+void KSky::RecordScanObs(size_t skyband_size, uint64_t kernel_hits) const {
   SOP_COUNTER_ADD("ksky/scans", 1);
   SOP_COUNTER_ADD("ksky/distances_computed", stats_.distances_computed);
   SOP_COUNTER_ADD("ksky/candidates_examined", stats_.candidates_examined);
   if (stats_.terminated_early) SOP_COUNTER_ADD("ksky/early_terminations", 1);
+  SOP_COUNTER_ADD("kernel/hits", kernel_hits);
   SOP_HISTOGRAM_RECORD("ksky/skyband_size", skyband_size);
 }
 

@@ -59,6 +59,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sop/common/dist_kernel.h"
 #include "sop/common/distance.h"
 #include "sop/common/fenwick.h"
 #include "sop/core/lsky.h"
@@ -131,15 +132,16 @@ class KSky {
   bool Examine(Seq seq, int64_t key, int32_t layer);
 
   // Publishes the finished scan's stats to the observability registry
-  // (ksky/* counters, skyband-size histogram). Call only when
+  // (ksky/* counters, kernel/hits, skyband-size histogram). Call only when
   // SOP_OBS_ENABLED(); never affects the scan result.
-  void RecordScanObs(size_t skyband_size) const;
+  void RecordScanObs(size_t skyband_size, uint64_t kernel_hits) const;
 
   // Safe-For-All check over the freshly built skyband.
   bool IsSafeForAll(const Point& p, const LSky& skyband) const;
 
   const WorkloadPlan* plan_;
   DistanceFn dist_;
+  DistanceKernel kernel_;  // batch form of dist_, over buffer.columns()
   Options options_;
 
   // Scratch reused across calls. `layer_counts_` is the paper's per-layer
@@ -149,6 +151,7 @@ class KSky {
   FenwickTree layer_counts_;
   int64_t layer1_count_ = 0;  // cardinality of layer 1 (termination check)
   std::vector<SkybandEntry> old_entries_;  // previous skyband, flattened
+  std::vector<double> batch_dists_;        // per-block kernel output
   mutable std::vector<int64_t> req_counts_;  // per-safety-requirement counts
   LSky build_;                               // skyband under construction
   KSkyScanStats stats_;

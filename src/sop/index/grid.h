@@ -63,23 +63,31 @@ class GridIndex {
   void VisitCandidates(const Point& p, double r, Visitor&& visit) const {
     if (size_ == 0) return;
     const CellCoords center = CellOf(p);
-    const int64_t span = static_cast<int64_t>(std::ceil(r / cell_size_)) + 1;
+    // Per-query scan state: the cell span depends only on r (one ceil per
+    // radius change, not per probe — detectors probe with a fixed r), and
+    // the odometer scratch is reused across scans so the steady state
+    // allocates nothing.
+    if (r != scan_r_) {
+      scan_r_ = r;
+      scan_span_ = static_cast<int64_t>(std::ceil(r / cell_size_)) + 1;
+    }
+    const int64_t span = scan_span_;
     const size_t ndims = center.size();
-    // Iterate the box of cells within `span` of the center in every
-    // dimension, pruning by the metric lower bound.
-    CellCoords coords(ndims);
-    std::vector<int64_t> offset(ndims, -span);
+    scan_coords_.assign(ndims, 0);
+    scan_offset_.assign(ndims, -span);
     // Register-local tallies; published in one gated batch below so the
     // scan itself never branches on the observability state.
     [[maybe_unused]] uint64_t obs_cells = 0;
     [[maybe_unused]] uint64_t obs_candidates = 0;
     for (;;) {
-      for (size_t i = 0; i < ndims; ++i) coords[i] = center[i] + offset[i];
-      if (CellLowerBound(p, coords) <= r) {
-        const auto it = cells_.find(HashCell(coords));
+      for (size_t i = 0; i < ndims; ++i) {
+        scan_coords_[i] = center[i] + scan_offset_[i];
+      }
+      if (CellLowerBound(p, scan_coords_) <= r) {
+        const auto it = cells_.find(HashCell(scan_coords_));
         if (it != cells_.end()) {
           for (const Entry& e : it->second) {
-            if (e.coords != coords) continue;
+            if (e.coords != scan_coords_) continue;
             ++obs_cells;
             obs_candidates += e.seqs.size();
             for (const Seq s : e.seqs) visit(s);
@@ -89,8 +97,8 @@ class GridIndex {
       // Advance the odometer.
       size_t i = 0;
       for (; i < ndims; ++i) {
-        if (++offset[i] <= span) break;
-        offset[i] = -span;
+        if (++scan_offset_[i] <= span) break;
+        scan_offset_[i] = -span;
       }
       if (i == ndims) break;
     }
@@ -134,6 +142,12 @@ class GridIndex {
     std::vector<Seq> seqs;
   };
   std::unordered_map<uint64_t, std::vector<Entry>> cells_;
+  // VisitCandidates scan state (see there). Mutable scratch — one more
+  // reason the index is not thread-safe.
+  mutable CellCoords scan_coords_;
+  mutable std::vector<int64_t> scan_offset_;
+  mutable double scan_r_ = -1.0;
+  mutable int64_t scan_span_ = 0;
 };
 
 }  // namespace sop

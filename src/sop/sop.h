@@ -20,6 +20,10 @@
 //   * Measuring            RunMetrics (detector/metrics.h) and the
 //                          observability registry, instrumentation macros
 //                          and exporters (obs/)
+//   * Distance kernels     DistanceFn::MakeKernel + the columnar window
+//                          mirror and backend selection
+//                          (--kernel=scalar|avx2; common/dist_kernel.h,
+//                          common/column_store.h)
 //   * Data in/out          CSV points, workload spec files (io/), the
 //                          paper's synthetic/STT generators (gen/), and
 //                          per-point result aggregation (report/)
@@ -32,6 +36,9 @@
 #ifndef SOP_SOP_H_
 #define SOP_SOP_H_
 
+#include "sop/common/column_store.h"
+#include "sop/common/dist_kernel.h"
+#include "sop/common/distance.h"
 #include "sop/common/point.h"
 #include "sop/common/random.h"
 #include "sop/core/session.h"

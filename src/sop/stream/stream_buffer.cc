@@ -11,6 +11,7 @@ void StreamBuffer::Append(Point p) {
     SOP_CHECK_MSG(PointKey(p, type_) >= PointKey(points_.back(), type_),
                   "point keys must be non-decreasing");
   }
+  columns_.Append(p);
   points_.push_back(std::move(p));
 }
 
@@ -21,6 +22,7 @@ size_t StreamBuffer::ExpireBefore(int64_t min_key) {
     ++first_seq_;
     ++dropped;
   }
+  columns_.PopFront(dropped);
   return dropped;
 }
 
@@ -44,7 +46,7 @@ Seq StreamBuffer::LowerBoundKey(int64_t min_key) const {
 }
 
 size_t StreamBuffer::MemoryBytes() const {
-  size_t bytes = DequeHeapBytes(points_);
+  size_t bytes = DequeHeapBytes(points_) + columns_.MemoryBytes();
   for (const Point& p : points_) bytes += VectorHeapBytes(p.values);
   return bytes;
 }

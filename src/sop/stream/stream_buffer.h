@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "sop/common/check.h"
+#include "sop/common/column_store.h"
 #include "sop/common/point.h"
 #include "sop/stream/window.h"
 
@@ -44,6 +45,7 @@ class StreamBuffer {
   void ResetTo(Seq first_seq) {
     SOP_CHECK_MSG(points_.empty(), "ResetTo requires an empty buffer");
     first_seq_ = first_seq;
+    columns_.ResetTo(first_seq);
   }
 
   /// Drops all points whose key is < `min_key`. Returns how many were
@@ -65,13 +67,19 @@ class StreamBuffer {
   /// search; keys are non-decreasing). Returns next_seq() if none.
   Seq LowerBoundKey(int64_t min_key) const;
 
-  /// Approximate heap bytes used by the stored points.
+  /// Columnar mirror of the alive points, kept in sync with every
+  /// mutation — the batch distance kernel (common/dist_kernel.h) reads
+  /// attributes through it instead of the row Points.
+  const ColumnStore& columns() const { return columns_; }
+
+  /// Approximate heap bytes used by the stored points (rows + columns).
   size_t MemoryBytes() const;
 
  private:
   WindowType type_;
   Seq first_seq_ = 0;
   std::deque<Point> points_;
+  ColumnStore columns_;
 };
 
 }  // namespace sop

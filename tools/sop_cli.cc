@@ -8,7 +8,7 @@
 //           [--on-bad-record fail|skip|clamp] [--quarantine PATH]
 //           [--checkpoint PATH] [--checkpoint-every N] [--resume-from PATH]
 //           [--queue N] [--overload block|drop-oldest]
-//           [--churn-every N]
+//           [--churn-every N] [--kernel scalar|avx2|auto]
 //           [--fault-rate SITE=RATE[,...]] [--fault-seed S] [--fault-max N]
 //
 // The workload spec format is documented in sop/io/workload_parser.h and
@@ -62,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "flags.h"
 #include "sop/common/fault.h"
 #include "sop/core/session.h"
 #include "sop/detector/engine.h"
@@ -77,60 +78,6 @@
 #include "sop/stream/window.h"
 
 namespace {
-
-void Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --workload spec.txt (--data points.csv | --synthetic N |"
-      " --stt N)\n"
-      "          [--detector sop|sop-grid|grouped-sop|leap|mcod|mcod-grid|"
-      "naive[,...]]\n"
-      "          [--threads N] [--metrics-out PATH] [--print-outliers]\n"
-      "          [--max-print N] [--seed S]\n"
-      "          [--on-bad-record fail|skip|clamp] [--quarantine PATH]\n"
-      "          [--checkpoint PATH] [--checkpoint-every N]"
-      " [--resume-from PATH]\n"
-      "          [--queue N] [--overload block|drop-oldest]\n"
-      "          [--churn-every N]\n"
-      "          [--fault-rate SITE=RATE[,...]] [--fault-seed S]"
-      " [--fault-max N]\n",
-      argv0);
-}
-
-// Parses "site=rate" pairs ("source-read=0.01") against FaultSiteName().
-bool ParseFaultRate(const std::string& spec, sop::FaultInjector* injector) {
-  const size_t eq = spec.find('=');
-  if (eq == std::string::npos) return false;
-  const std::string site_name = spec.substr(0, eq);
-  char* end = nullptr;
-  const double rate = std::strtod(spec.c_str() + eq + 1, &end);
-  if (end == nullptr || *end != '\0' || rate < 0.0 || rate > 1.0) {
-    return false;
-  }
-  for (int i = 0; i < sop::kNumFaultSites; ++i) {
-    const auto site = static_cast<sop::FaultSite>(i);
-    if (site_name == sop::FaultSiteName(site)) {
-      injector->SetRate(site, rate);
-      return true;
-    }
-  }
-  return false;
-}
-
-std::vector<std::string> SplitCommas(const std::string& s) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (start <= s.size()) {
-    const size_t comma = s.find(',', start);
-    if (comma == std::string::npos) {
-      parts.push_back(s.substr(start));
-      break;
-    }
-    parts.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return parts;
-}
 
 // Session-mode run for --churn-every: streams `points` through a dynamic
 // SopSession hosting `name`, removing + re-registering one query
@@ -303,109 +250,88 @@ int main(int argc, char** argv) {
   uint64_t fault_seed = 1;
   int64_t fault_max = -1;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--workload") {
-      workload_path = next();
-    } else if (arg == "--data") {
-      data_path = next();
-    } else if (arg == "--synthetic") {
-      synthetic_n = std::atoll(next());
-    } else if (arg == "--stt") {
-      stt_n = std::atoll(next());
-    } else if (arg == "--detector") {
-      detectors = SplitCommas(next());
-      for (const std::string& name : detectors) {
-        if (!IsKnownDetector(name)) {
-          std::fprintf(stderr, "%s\n", UnknownDetectorMessage(name).c_str());
-          return 2;
-        }
-      }
-    } else if (arg == "--metrics-out") {
-      metrics_out = next();
-    } else if (arg == "--print-outliers") {
-      print_outliers = true;
-    } else if (arg == "--aggregate") {
-      aggregate = true;
-    } else if (arg == "--max-print") {
-      max_print = std::atoll(next());
-    } else if (arg == "--seed") {
-      seed = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--threads") {
-      num_threads = static_cast<int>(std::atoll(next()));
-      if (num_threads < 0) {
-        std::fprintf(stderr, "--threads must be >= 0\n");
-        return 2;
-      }
-    } else if (arg == "--on-bad-record") {
-      const char* policy = next();
-      if (!ParseRecordPolicy(policy, &csv_options.policy)) {
-        std::fprintf(stderr, "--on-bad-record: unknown policy '%s'\n", policy);
-        return 2;
-      }
-    } else if (arg == "--quarantine") {
-      csv_options.quarantine_path = next();
-    } else if (arg == "--checkpoint") {
-      checkpoint_path = next();
-    } else if (arg == "--checkpoint-every") {
-      checkpoint_every = std::atoll(next());
-      if (checkpoint_every < 1) {
-        std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
-        return 2;
-      }
-    } else if (arg == "--resume-from") {
-      resume_path = next();
-    } else if (arg == "--queue") {
-      const int64_t n = std::atoll(next());
-      if (n < 0) {
-        std::fprintf(stderr, "--queue must be >= 0\n");
-        return 2;
-      }
-      queue_batches = static_cast<size_t>(n);
-    } else if (arg == "--overload") {
-      const std::string policy = next();
-      if (policy == "block") {
-        overload_policy = OverloadPolicy::kBlock;
-      } else if (policy == "drop-oldest") {
-        overload_policy = OverloadPolicy::kDropOldest;
-      } else {
-        std::fprintf(stderr, "--overload: unknown policy '%s'\n",
-                     policy.c_str());
-        return 2;
-      }
-    } else if (arg == "--churn-every") {
-      churn_every = std::atoll(next());
-      if (churn_every <= 0) {
-        std::fprintf(stderr, "--churn-every must be positive\n");
-        return 2;
-      }
-    } else if (arg == "--fault-rate") {
-      for (const std::string& spec : SplitCommas(next())) {
-        fault_specs.push_back(spec);
-      }
-    } else if (arg == "--fault-seed") {
-      fault_seed = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--fault-max") {
-      fault_max = std::atoll(next());
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage(argv[0]);
-      return 2;
-    }
-  }
+  cli::FlagSet flags(
+      "Run a multi-query outlier workload over a stream. The workload spec\n"
+      "format is documented in sop/io/workload_parser.h, detector names in\n"
+      "sop/detector/factory.h; resilience and churn modes in DESIGN.md\n"
+      "Sec. 12/14. Requires --workload plus one data source (--data,\n"
+      "--synthetic or --stt).");
+  flags.Str("--workload", &workload_path, "spec.txt", "workload spec file");
+  flags.Str("--data", &data_path, "points.csv", "stream points CSV");
+  flags.I64("--synthetic", &synthetic_n, "N",
+            "generate N synthetic points instead of reading --data", 0);
+  flags.I64("--stt", &stt_n, "N",
+            "generate N STT points instead of reading --data", 0);
+  flags.Flag("--detector", "NAME[,NAME...]",
+             "detectors to run over the identical stream, in turn "
+             "(default sop)",
+             [&detectors](const std::string& v, std::string* error) {
+               detectors = cli::SplitCommas(v);
+               for (const std::string& name : detectors) {
+                 if (!IsKnownDetector(name)) {
+                   *error = UnknownDetectorMessage(name);
+                   return false;
+                 }
+               }
+               return true;
+             });
+  flags.Int("--threads", &num_threads, "N",
+            "worker threads for partitioned detectors (0 = one per core)", 0);
+  flags.Str("--metrics-out", &metrics_out, "PATH",
+            "enable observability and write run metrics + counters JSON");
+  flags.Bool("--print-outliers", &print_outliers,
+             "print each emission's outliers");
+  flags.Bool("--aggregate", &aggregate,
+             "print the per-point outlier pivot of the last boundaries");
+  flags.I64("--max-print", &max_print, "N", "emission print cap", 0);
+  flags.U64("--seed", &seed, "S", "generator seed for --synthetic/--stt");
+  flags.Flag("--on-bad-record", "fail|skip|clamp",
+             "CSV ingest policy for malformed records",
+             [&csv_options](const std::string& v, std::string* error) {
+               if (!ParseRecordPolicy(v, &csv_options.policy)) {
+                 *error = "unknown policy";
+                 return false;
+               }
+               return true;
+             });
+  flags.Str("--quarantine", &csv_options.quarantine_path, "PATH",
+            "spool records rejected by --on-bad-record skip here");
+  flags.Str("--checkpoint", &checkpoint_path, "PATH",
+            "write crash-consistent run checkpoints here");
+  flags.I64("--checkpoint-every", &checkpoint_every, "N",
+            "checkpoint every N batches", 1);
+  flags.Str("--resume-from", &resume_path, "PATH",
+            "resume one detector from a checkpoint file");
+  flags.Size("--queue", &queue_batches, "N",
+             "pipeline ingest/detection through an N-batch queue");
+  flags.Flag("--overload", "block|drop-oldest",
+             "full-queue policy (backpressure, or shed + flag degraded)",
+             [&overload_policy](const std::string& v, std::string* error) {
+               if (v == "block") {
+                 overload_policy = OverloadPolicy::kBlock;
+               } else if (v == "drop-oldest") {
+                 overload_policy = OverloadPolicy::kDropOldest;
+               } else {
+                 *error = "unknown policy";
+                 return false;
+               }
+               return true;
+             });
+  flags.I64("--churn-every", &churn_every, "N",
+            "dynamic-session mode: remove + re-add one query every N "
+            "batches",
+            1);
+  flags.StrList("--fault-rate", &fault_specs, "SITE=RATE[,...]",
+                "arm the deterministic fault injector (common/fault.h)");
+  flags.U64("--fault-seed", &fault_seed, "S", "fault schedule seed");
+  flags.I64("--fault-max", &fault_max, "N",
+            "cap injected failures per site (-1 = unlimited)", -1);
+  cli::AddKernelFlag(&flags);
+  int exit_code = 0;
+  if (!flags.Parse(argc, argv, &exit_code)) return exit_code;
 
   if (workload_path.empty() || detectors.empty()) {
-    Usage(argv[0]);
+    flags.UsageError("--workload and at least one --detector are required");
     return 2;
   }
   Workload workload;
@@ -452,8 +378,7 @@ int main(int argc, char** argv) {
     Point p;
     while (source.Next(&p)) points.push_back(std::move(p));
   } else {
-    std::fprintf(stderr, "no data source given\n");
-    Usage(argv[0]);
+    flags.UsageError("no data source given (--data, --synthetic or --stt)");
     return 2;
   }
 
@@ -493,7 +418,7 @@ int main(int argc, char** argv) {
   FaultInjector injector(fault_seed);
   bool inject = false;
   for (const std::string& spec : fault_specs) {
-    if (!ParseFaultRate(spec, &injector)) {
+    if (!cli::ParseFaultRate(spec, &injector)) {
       std::fprintf(stderr, "--fault-rate: bad site=rate spec '%s'\n",
                    spec.c_str());
       return 2;

@@ -32,20 +32,12 @@
 #include <string>
 #include <vector>
 
+#include "flags.h"
 #include "sop/io/csv.h"
 #include "sop/net/client.h"
 #include "sop/stream/window.h"
 
 namespace {
-
-void Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --port P [--host H] --subscribe R,K,WIN,SLIDE [...]\n"
-      "          --data points.csv [--batch B | --span S] [--max-print N]\n"
-      "          [--churn-every N]\n",
-      argv0);
-}
 
 bool ParseQuery(const std::string& spec, sop::OutlierQuery* query) {
   double r = 0.0;
@@ -97,61 +89,38 @@ int main(int argc, char** argv) {
   int64_t max_print = 20;
   int64_t churn_every = 0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--host") {
-      host = next();
-    } else if (arg == "--port") {
-      port = std::atoi(next());
-    } else if (arg == "--data") {
-      data_path = next();
-    } else if (arg == "--subscribe") {
-      OutlierQuery query;
-      const char* spec = next();
-      if (!ParseQuery(spec, &query)) {
-        std::fprintf(stderr, "--subscribe: expect R,K,WIN,SLIDE, got '%s'\n",
-                     spec);
-        return 2;
-      }
-      queries.push_back(query);
-    } else if (arg == "--batch") {
-      batch = std::atoll(next());
-      if (batch <= 0) {
-        std::fprintf(stderr, "--batch must be positive\n");
-        return 2;
-      }
-    } else if (arg == "--span") {
-      span = std::atoll(next());
-      if (span <= 0) {
-        std::fprintf(stderr, "--span must be positive\n");
-        return 2;
-      }
-    } else if (arg == "--max-print") {
-      max_print = std::atoll(next());
-    } else if (arg == "--churn-every") {
-      churn_every = std::atoll(next());
-      if (churn_every <= 0) {
-        std::fprintf(stderr, "--churn-every must be positive\n");
-        return 2;
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage(argv[0]);
-      return 2;
-    }
-  }
+  cli::FlagSet flags(
+      "Subscribe outlier queries on a running sop_server and stream a point\n"
+      "file through it, printing every emission. --subscribe is repeatable;\n"
+      "its parameters match one workload spec line. --churn-every N drops\n"
+      "and re-registers one subscription (round-robin) every N batches and\n"
+      "reports the re-subscribe round-trip latency.");
+  flags.Str("--host", &host, "H", "server address");
+  flags.Int("--port", &port, "P", "server port (required)", 0);
+  flags.Str("--data", &data_path, "points.csv", "stream points CSV");
+  flags.Flag("--subscribe", "R,K,WIN,SLIDE",
+             "subscribe one outlier query (repeatable)",
+             [&queries](const std::string& v, std::string* error) {
+               OutlierQuery query;
+               if (!ParseQuery(v, &query)) {
+                 *error = "expect R,K,WIN,SLIDE";
+                 return false;
+               }
+               queries.push_back(query);
+               return true;
+             });
+  flags.I64("--batch", &batch, "B", "points per ingest batch (count windows)",
+            1);
+  flags.I64("--span", &span, "S",
+            "boundary span for time windows (default: slide gcd)", 1);
+  flags.I64("--max-print", &max_print, "N", "emission print cap", 0);
+  flags.I64("--churn-every", &churn_every, "N",
+            "drop + re-subscribe one query every N batches", 1);
+  int exit_code = 0;
+  if (!flags.Parse(argc, argv, &exit_code)) return exit_code;
   if (port <= 0 || data_path.empty() || queries.empty()) {
-    Usage(argv[0]);
+    flags.UsageError("--port, --data and at least one --subscribe are "
+                     "required");
     return 2;
   }
 

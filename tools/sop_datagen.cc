@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "flags.h"
 #include "sop/gen/stt.h"
 #include "sop/gen/synthetic.h"
 #include "sop/gen/workload_gen.h"
@@ -34,18 +35,6 @@
 #include "sop/net/client.h"
 
 namespace {
-
-void Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --kind synthetic|stt --n N --out points.csv [--seed S]\n"
-      "          [--dims D] [--outlier-rate F]\n"
-      "       %s --kind synthetic|stt --n N (--out - | --connect HOST:PORT)\n"
-      "          [--rate POINTS_PER_SEC] [--batch B]\n"
-      "       %s --kind workload --case A..G --queries Q --out spec.txt\n"
-      "          [--seed S] [--window-type count|time]\n",
-      argv0, argv0, argv0);
-}
 
 // Paces a stream to `rate` points/sec against absolute deadlines.
 class Throttle {
@@ -166,59 +155,33 @@ int main(int argc, char** argv) {
   double rate = 0.0;
   size_t batch = 128;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--kind") {
-      kind = next();
-    } else if (arg == "--n") {
-      n = std::atoll(next());
-    } else if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--connect") {
-      connect_spec = next();
-    } else if (arg == "--rate") {
-      rate = std::atof(next());
-      if (rate < 0.0) {
-        std::fprintf(stderr, "--rate must be >= 0\n");
-        return 2;
-      }
-    } else if (arg == "--batch") {
-      const int64_t b = std::atoll(next());
-      if (b <= 0) {
-        std::fprintf(stderr, "--batch must be positive\n");
-        return 2;
-      }
-      batch = static_cast<size_t>(b);
-    } else if (arg == "--seed") {
-      seed = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--dims") {
-      dims = std::atoi(next());
-    } else if (arg == "--outlier-rate") {
-      outlier_rate = std::atof(next());
-    } else if (arg == "--case") {
-      wcase_name = next();
-    } else if (arg == "--queries") {
-      queries = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--window-type") {
-      window_type_name = next();
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage(argv[0]);
-      return 2;
-    }
-  }
+  cli::FlagSet flags(
+      "Materialize benchmark datasets (--kind synthetic|stt) and workload\n"
+      "specs (--kind workload) to disk, or stream points at a controlled\n"
+      "rate: --out - writes batched CSV to stdout, --connect speaks the sop\n"
+      "wire protocol and pushes each chunk as one ingest batch.");
+  flags.Str("--kind", &kind, "synthetic|stt|workload", "what to generate");
+  flags.I64("--n", &n, "N", "number of points to generate", 1);
+  flags.Str("--out", &out_path, "PATH",
+            "output file ('-' streams CSV to stdout)");
+  flags.Str("--connect", &connect_spec, "HOST:PORT",
+            "stream to a sop_server instead of writing a file");
+  flags.F64("--rate", &rate, "POINTS_PER_SEC",
+            "pace streaming output (0 = full speed)", 0.0);
+  flags.Size("--batch", &batch, "B", "points per streamed chunk", 1);
+  flags.U64("--seed", &seed, "S", "generator seed");
+  flags.Int("--dims", &dims, "D", "synthetic point dimensionality", 1);
+  flags.F64("--outlier-rate", &outlier_rate, "F",
+            "synthetic/STT outlier fraction", 0.0);
+  flags.Str("--case", &wcase_name, "A..G",
+            "workload parameter case (paper Sec. 7)");
+  flags.Size("--queries", &queries, "Q", "workload query count", 1);
+  flags.Str("--window-type", &window_type_name, "count|time",
+            "workload window unit");
+  int exit_code = 0;
+  if (!flags.Parse(argc, argv, &exit_code)) return exit_code;
   if (out_path.empty() && connect_spec.empty()) {
-    Usage(argv[0]);
+    flags.UsageError("--out or --connect is required");
     return 2;
   }
 
@@ -289,7 +252,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
-  Usage(argv[0]);
+  flags.UsageError("unknown --kind '" + kind + "' (expect synthetic|stt|"
+                   "workload)");
   return 2;
 }

@@ -8,7 +8,8 @@
 //              [--checkpoint PATH] [--checkpoint-every N] [--threads N]
 //              [--exact-basis] [--headroom-r R[,R...]] [--headroom-k N]
 //              [--headroom-win N]
-//              [--metrics] [--fault-rate SITE=RATE[,...]] [--fault-seed S]
+//              [--metrics] [--kernel scalar|avx2|auto]
+//              [--fault-rate SITE=RATE[,...]] [--fault-seed S]
 //              [--fault-max N]
 //
 // Hosts one shared SopSession behind the sop wire protocol (DESIGN.md
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "flags.h"
 #include "sop/common/fault.h"
 #include "sop/detector/factory.h"
 #include "sop/net/server.h"
@@ -38,61 +40,6 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
 
-void Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--host H] [--port P] [--detector NAME]\n"
-      "          [--window-type count|time] [--metric euclidean|manhattan]\n"
-      "          [--history-window N] [--send-queue N]\n"
-      "          [--overload block|drop-oldest] [--ingest-queue N]\n"
-      "          [--checkpoint PATH] [--checkpoint-every N] [--threads N]\n"
-      "          [--exact-basis] [--headroom-r R[,R...]] [--headroom-k N]\n"
-      "          [--headroom-win N]\n"
-      "          [--metrics] [--fault-rate SITE=RATE[,...]] [--fault-seed S]\n"
-      "          [--fault-max N]\n"
-      "\n"
-      "Basis headroom (sop/sop-grid detectors only): the default elastic\n"
-      "basis makes every subscribe at an already-served radius an in-place\n"
-      "overlay swap. --exact-basis compiles the paper's exact plan instead\n"
-      "(maximal pruning, rebuild-heavy churn); --headroom-r/-k/-win reserve\n"
-      "extra radii / skyband depth / window span on top.\n",
-      argv0);
-}
-
-bool ParseFaultRate(const std::string& spec, sop::FaultInjector* injector) {
-  const size_t eq = spec.find('=');
-  if (eq == std::string::npos) return false;
-  const std::string site_name = spec.substr(0, eq);
-  char* end = nullptr;
-  const double rate = std::strtod(spec.c_str() + eq + 1, &end);
-  if (end == nullptr || *end != '\0' || rate < 0.0 || rate > 1.0) {
-    return false;
-  }
-  for (int i = 0; i < sop::kNumFaultSites; ++i) {
-    const auto site = static_cast<sop::FaultSite>(i);
-    if (site_name == sop::FaultSiteName(site)) {
-      injector->SetRate(site, rate);
-      return true;
-    }
-  }
-  return false;
-}
-
-std::vector<std::string> SplitCommas(const std::string& s) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (start <= s.size()) {
-    const size_t comma = s.find(',', start);
-    if (comma == std::string::npos) {
-      parts.push_back(s.substr(start));
-      break;
-    }
-    parts.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return parts;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,118 +51,108 @@ int main(int argc, char** argv) {
   uint64_t fault_seed = 1;
   int64_t fault_max = -1;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--host") {
-      options.host = next();
-    } else if (arg == "--port") {
-      options.port = std::atoi(next());
-    } else if (arg == "--detector") {
-      options.detector = next();
-      if (!IsKnownDetector(options.detector)) {
-        std::fprintf(stderr, "%s\n",
-                     UnknownDetectorMessage(options.detector).c_str());
-        return 2;
-      }
-    } else if (arg == "--window-type") {
-      const std::string name = next();
-      if (name == "count") {
-        options.window_type = WindowType::kCount;
-      } else if (name == "time") {
-        options.window_type = WindowType::kTime;
-      } else {
-        std::fprintf(stderr, "--window-type: expect count|time\n");
-        return 2;
-      }
-    } else if (arg == "--metric") {
-      const std::string name = next();
-      if (name == "euclidean") {
-        options.metric = Metric::kEuclidean;
-      } else if (name == "manhattan") {
-        options.metric = Metric::kManhattan;
-      } else {
-        std::fprintf(stderr, "--metric: expect euclidean|manhattan\n");
-        return 2;
-      }
-    } else if (arg == "--history-window") {
-      options.history_window = std::atoll(next());
-    } else if (arg == "--send-queue") {
-      options.max_send_queue = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--overload") {
-      const std::string policy = next();
-      if (policy == "block") {
-        options.send_policy = OverloadPolicy::kBlock;
-      } else if (policy == "drop-oldest") {
-        options.send_policy = OverloadPolicy::kDropOldest;
-      } else {
-        std::fprintf(stderr, "--overload: unknown policy '%s'\n",
-                     policy.c_str());
-        return 2;
-      }
-    } else if (arg == "--ingest-queue") {
-      options.max_ingest_queue = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--checkpoint") {
-      options.checkpoint_path = next();
-    } else if (arg == "--checkpoint-every") {
-      options.checkpoint_every_batches = std::atoll(next());
-    } else if (arg == "--threads") {
-      options.num_threads = std::atoi(next());
-    } else if (arg == "--exact-basis") {
-      options.headroom.elastic = false;
-    } else if (arg == "--headroom-r") {
-      for (const std::string& spec : SplitCommas(next())) {
-        char* end = nullptr;
-        const double r = std::strtod(spec.c_str(), &end);
-        if (end == nullptr || *end != '\0' || !(r > 0.0)) {
-          std::fprintf(stderr, "--headroom-r: bad radius '%s'\n",
-                       spec.c_str());
-          return 2;
-        }
-        options.headroom.r_values.push_back(r);
-      }
-    } else if (arg == "--headroom-k") {
-      options.headroom.k_slack = std::atoll(next());
-      if (options.headroom.k_slack < 0) {
-        std::fprintf(stderr, "--headroom-k: expect N >= 0\n");
-        return 2;
-      }
-    } else if (arg == "--headroom-win") {
-      options.headroom.win_floor = std::atoll(next());
-      if (options.headroom.win_floor < 0) {
-        std::fprintf(stderr, "--headroom-win: expect N >= 0\n");
-        return 2;
-      }
-    } else if (arg == "--metrics") {
-      want_metrics = true;
-    } else if (arg == "--fault-rate") {
-      for (const std::string& spec : SplitCommas(next())) {
-        fault_specs.push_back(spec);
-      }
-    } else if (arg == "--fault-seed") {
-      fault_seed = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--fault-max") {
-      fault_max = std::atoll(next());
-    } else if (arg == "--help" || arg == "-h") {
-      Usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      Usage(argv[0]);
-      return 2;
-    }
-  }
+  cli::FlagSet flags(
+      "Serve shared outlier detection over TCP (DESIGN.md Sec. 13): clients\n"
+      "ingest point batches, subscribe/unsubscribe queries live, and receive\n"
+      "per-query emissions. Runs until SIGINT/SIGTERM; prints the bound port\n"
+      "on stdout (--port 0 picks an ephemeral one).\n"
+      "\n"
+      "Basis headroom (sop/sop-grid detectors only): the default elastic\n"
+      "basis makes every subscribe at an already-served radius an in-place\n"
+      "overlay swap. --exact-basis compiles the paper's exact plan instead\n"
+      "(maximal pruning, rebuild-heavy churn); --headroom-r/-k/-win reserve\n"
+      "extra radii / skyband depth / window span on top.");
+  flags.Str("--host", &options.host, "H", "bind address");
+  flags.Int("--port", &options.port, "P", "bind port (0 = ephemeral)", 0);
+  flags.Flag("--detector", "NAME", "detector hosting the shared session",
+             [&options](const std::string& v, std::string* error) {
+               if (!IsKnownDetector(v)) {
+                 *error = UnknownDetectorMessage(v);
+                 return false;
+               }
+               options.detector = v;
+               return true;
+             });
+  flags.Flag("--window-type", "count|time", "window unit for all queries",
+             [&options](const std::string& v, std::string* error) {
+               if (v == "count") {
+                 options.window_type = WindowType::kCount;
+               } else if (v == "time") {
+                 options.window_type = WindowType::kTime;
+               } else {
+                 *error = "expect count|time";
+                 return false;
+               }
+               return true;
+             });
+  flags.Flag("--metric", "euclidean|manhattan", "distance metric",
+             [&options](const std::string& v, std::string* error) {
+               if (!ParseMetric(v, &options.metric)) {
+                 *error = "expect euclidean|manhattan";
+                 return false;
+               }
+               return true;
+             });
+  flags.I64("--history-window", &options.history_window, "N",
+            "history retained for late subscribers", 0);
+  flags.Size("--send-queue", &options.max_send_queue, "N",
+             "per-connection emission queue cap");
+  flags.Flag("--overload", "block|drop-oldest",
+             "full send-queue policy (backpressure, or shed emissions)",
+             [&options](const std::string& v, std::string* error) {
+               if (v == "block") {
+                 options.send_policy = OverloadPolicy::kBlock;
+               } else if (v == "drop-oldest") {
+                 options.send_policy = OverloadPolicy::kDropOldest;
+               } else {
+                 *error = "unknown policy";
+                 return false;
+               }
+               return true;
+             });
+  flags.Size("--ingest-queue", &options.max_ingest_queue, "N",
+             "ingest queue cap");
+  flags.Str("--checkpoint", &options.checkpoint_path, "PATH",
+            "write checkpoints here; a restarted server resumes from it");
+  flags.I64("--checkpoint-every", &options.checkpoint_every_batches, "N",
+            "checkpoint every N ingested batches", 1);
+  flags.Int("--threads", &options.num_threads, "N",
+            "detector worker threads (0 = one per core)", 0);
+  flags.Switch("--exact-basis",
+               "compile the paper's exact plan instead of the elastic basis",
+               [&options] { options.headroom.elastic = false; });
+  flags.Flag("--headroom-r", "R[,R...]", "reserve extra basis radii",
+             [&options](const std::string& v, std::string* error) {
+               for (const std::string& spec : cli::SplitCommas(v)) {
+                 char* end = nullptr;
+                 const double r = std::strtod(spec.c_str(), &end);
+                 if (end == nullptr || *end != '\0' || !(r > 0.0)) {
+                   *error = "bad radius '" + spec + "'";
+                   return false;
+                 }
+                 options.headroom.r_values.push_back(r);
+               }
+               return true;
+             });
+  flags.I64("--headroom-k", &options.headroom.k_slack, "N",
+            "reserve extra skyband depth", 0);
+  flags.I64("--headroom-win", &options.headroom.win_floor, "N",
+            "reserve extra window span", 0);
+  flags.Bool("--metrics", &want_metrics,
+             "enable observability; dump the counter registry on shutdown");
+  flags.StrList("--fault-rate", &fault_specs, "SITE=RATE[,...]",
+                "arm the deterministic fault injector (common/fault.h)");
+  flags.U64("--fault-seed", &fault_seed, "S", "fault schedule seed");
+  flags.I64("--fault-max", &fault_max, "N",
+            "cap injected failures per site (-1 = unlimited)", -1);
+  cli::AddKernelFlag(&flags);
+  int exit_code = 0;
+  if (!flags.Parse(argc, argv, &exit_code)) return exit_code;
 
   FaultInjector injector(fault_seed);
   bool inject = false;
   for (const std::string& spec : fault_specs) {
-    if (!ParseFaultRate(spec, &injector)) {
+    if (!cli::ParseFaultRate(spec, &injector)) {
       std::fprintf(stderr, "--fault-rate: bad site=rate spec '%s'\n",
                    spec.c_str());
       return 2;
