@@ -45,6 +45,11 @@ std::vector<QueryId> SopSession::RegisteredQueryIds() const {
   return ids;
 }
 
+const OutlierQuery* SopSession::FindQuery(QueryId id) const {
+  const auto it = registered_.find(id);
+  return it == registered_.end() ? nullptr : &it->second;
+}
+
 void SopSession::SetDetectorBuilder(DetectorBuilder builder) {
   builder_ = std::move(builder);
   dirty_ = true;

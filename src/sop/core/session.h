@@ -116,6 +116,10 @@ class SopSession {
   /// Ids of every registered query, ascending.
   std::vector<QueryId> RegisteredQueryIds() const;
 
+  /// The parameters of registered query `id`; nullptr when unknown. The
+  /// pointer is invalidated by the next Add/RemoveQuery or LoadState.
+  const OutlierQuery* FindQuery(QueryId id) const;
+
   /// The last boundary Advance accepted — INT64_MIN before the first batch.
   /// Survives SaveState/LoadState, so a restored session's host can keep
   /// enforcing boundary monotonicity where the stream actually left off.

@@ -237,7 +237,8 @@ void ExecutionEngine::WriteCheckpoint(RunContext* ctx) {
     cp.history.assign(ctx->history.begin(), ctx->history.end());
   }
   std::string error;
-  if (!SaveRunCheckpoint(options_.checkpoint.path, cp, &error)) {
+  if (!SaveRunCheckpoint(options_.checkpoint.path, cp, &error,
+                         options_.checkpoint.generations)) {
     // Best-effort: a failed write leaves the previous checkpoint at the
     // path intact and the run continues (the fault model treats checkpoint
     // writes as non-critical; see DESIGN.md Sec. 12).

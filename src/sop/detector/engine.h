@@ -81,6 +81,10 @@ struct CheckpointOptions {
   std::string path;
   /// Write cadence in advanced batches (>= 1) when `path` is set.
   int64_t every_batches = 64;
+  /// Complete checkpoint generations retained on disk (>= 1): each save
+  /// rotates path -> path.1 -> ... so restore can fall back past a corrupt
+  /// newest file to the previous one (see run_checkpoint.h).
+  int generations = 1;
 };
 
 /// What to do when the overload queue is full.

@@ -1,5 +1,7 @@
 #include "sop/detector/run_checkpoint.h"
 
+#include <algorithm>
+
 #include "sop/common/fault.h"
 #include "sop/common/frame.h"
 #include "sop/common/serialize.h"
@@ -111,7 +113,7 @@ bool DeserializeRunCheckpoint(std::string_view bytes, RunCheckpoint* out,
 }
 
 bool SaveRunCheckpoint(const std::string& path, const RunCheckpoint& cp,
-                       std::string* error) {
+                       std::string* error, int generations) {
   FaultInjector* injector = FaultInjector::Armed();
   if (injector != nullptr &&
       injector->ShouldFail(FaultSite::kCheckpointWrite)) {
@@ -122,22 +124,37 @@ bool SaveRunCheckpoint(const std::string& path, const RunCheckpoint& cp,
       injector->ShouldFail(FaultSite::kCheckpointBytes)) {
     injector->CorruptBytes(&bytes);
   }
+  io::RotateGenerations(path, generations);
   if (!io::WriteFileAtomic(path, bytes, error)) return false;
   SOP_COUNTER_ADD("resilience/checkpoint_saves", 1);
   return true;
 }
 
 bool LoadRunCheckpoint(const std::string& path, RunCheckpoint* out,
-                       std::string* error) {
+                       std::string* error, int generations,
+                       int* loaded_generation) {
   FaultInjector* injector = FaultInjector::Armed();
-  if (injector != nullptr &&
-      injector->ShouldFail(FaultSite::kCheckpointRead)) {
-    return RunError(error, "injected read failure");
+  std::string failures;
+  for (int g = 0; g < std::max(generations, 1); ++g) {
+    const std::string gen_path = io::GenerationPath(path, g);
+    std::string gen_error;
+    if (injector != nullptr &&
+        injector->ShouldFail(FaultSite::kCheckpointRead)) {
+      RunError(&gen_error, "injected read failure");
+    } else {
+      std::string bytes;
+      if (io::ReadFileToString(gen_path, &bytes, &gen_error) &&
+          DeserializeRunCheckpoint(bytes, out, &gen_error)) {
+        if (g > 0) SOP_COUNTER_ADD("resilience/checkpoint_fallbacks", 1);
+        if (loaded_generation != nullptr) *loaded_generation = g;
+        return true;
+      }
+    }
+    if (!failures.empty()) failures += "; ";
+    failures += gen_path + ": " + gen_error;
   }
-  std::string bytes;
-  if (!io::ReadFileToString(path, &bytes, error)) return false;
-  if (!DeserializeRunCheckpoint(bytes, out, error)) return false;
-  return true;
+  if (error != nullptr) *error = failures;
+  return false;
 }
 
 }  // namespace sop

@@ -79,14 +79,29 @@ bool DeserializeRunCheckpoint(std::string_view bytes, RunCheckpoint* out,
 /// FaultInjector: an injected checkpoint-write failure returns false (the
 /// previous checkpoint at `path` survives); injected checkpoint-bytes
 /// corruption flips a bit in the written frame (reads must then reject it).
+///
+/// With `generations > 1` the previous files are first rotated one slot
+/// older (path -> path.1 -> ... -> path.<generations-1>,
+/// io::RotateGenerations), so the last `generations` complete checkpoints
+/// survive on disk and LoadRunCheckpoint can fall back past a corrupt
+/// newest one.
 bool SaveRunCheckpoint(const std::string& path, const RunCheckpoint& cp,
-                       std::string* error);
+                       std::string* error, int generations = 1);
 
 /// Reads and validates the checkpoint at `path`. Returns false with a
 /// diagnostic on missing/unreadable files, injected read failures, and
 /// every form of corruption the frame detects.
+///
+/// With `generations > 1`, a newest generation that is missing, corrupt,
+/// or hit by an injected read failure does not end the restore: each older
+/// generation is tried in turn and the first one that validates wins
+/// (resuming there replays a longer stream suffix, which is correct —
+/// checkpoints are prefixes of one deterministic run). `*error`
+/// accumulates one line per rejected generation; `*loaded_generation`
+/// (optional) reports which slot was used.
 bool LoadRunCheckpoint(const std::string& path, RunCheckpoint* out,
-                       std::string* error);
+                       std::string* error, int generations = 1,
+                       int* loaded_generation = nullptr);
 
 }  // namespace sop
 

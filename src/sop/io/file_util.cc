@@ -51,5 +51,21 @@ bool WriteFileAtomic(const std::string& path, const std::string& bytes,
   return true;
 }
 
+std::string GenerationPath(const std::string& path, int generation) {
+  if (generation <= 0) return path;
+  return path + "." + std::to_string(generation);
+}
+
+void RotateGenerations(const std::string& path, int keep) {
+  // Oldest first: rename over the tail slot, then walk down to the live
+  // file. A missing generation (fresh deployment, or a crash that already
+  // consumed it) simply makes that rename fail, which is fine — rotation
+  // is best-effort by design; only the publish itself must be atomic.
+  for (int g = keep - 1; g >= 1; --g) {
+    std::rename(GenerationPath(path, g - 1).c_str(),
+                GenerationPath(path, g).c_str());
+  }
+}
+
 }  // namespace io
 }  // namespace sop

@@ -26,6 +26,18 @@ bool ReadFileToString(const std::string& path, std::string* out,
 bool WriteFileAtomic(const std::string& path, const std::string& bytes,
                      std::string* error);
 
+/// The on-disk name of generation `generation` of `path`: generation 0 is
+/// `path` itself (the newest), older ones are `path.1`, `path.2`, ...
+std::string GenerationPath(const std::string& path, int generation);
+
+/// Shifts existing generations one slot older ahead of a new publish at
+/// `path`: path.(keep-2) -> path.(keep-1), ..., path -> path.1, so the
+/// caller's subsequent WriteFileAtomic(path, ...) leaves the previous
+/// `keep - 1` complete files intact. Each shift is a single rename(2), so
+/// a crash mid-rotation loses at most ordering, never file contents.
+/// keep <= 1 is a no-op (only the newest generation is retained).
+void RotateGenerations(const std::string& path, int keep);
+
 }  // namespace io
 }  // namespace sop
 

@@ -60,6 +60,76 @@ BinaryWriter Begin(MsgType type) {
   return w;
 }
 
+void WriteEmissionRecord(BinaryWriter* w, const EmissionRecord& rec) {
+  w->WriteDouble(rec.query.r);
+  w->WriteI64(rec.query.k);
+  w->WriteI64(rec.query.win);
+  w->WriteI64(rec.query.slide);
+  w->WriteI64(rec.boundary);
+  w->WriteBool(rec.degraded);
+  w->WriteU64(rec.outliers.size());
+  for (const Seq s : rec.outliers) w->WriteI64(s);
+}
+
+bool ReadEmissionRecord(BinaryReader* r, EmissionRecord* rec,
+                        std::string* error) {
+  uint64_t count = 0;
+  if (!r->ReadDouble(&rec->query.r) || !r->ReadI64(&rec->query.k) ||
+      !r->ReadI64(&rec->query.win) || !r->ReadI64(&rec->query.slide) ||
+      !r->ReadI64(&rec->boundary) || !r->ReadBool(&rec->degraded) ||
+      !r->ReadU64(&count)) {
+    return Malformed(error, "truncated emission record");
+  }
+  rec->query.attribute_set = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Seq s = 0;
+    if (!r->ReadI64(&s)) return Malformed(error, "truncated emission record");
+    rec->outliers.push_back(s);
+  }
+  return true;
+}
+
+void WriteRingShard(BinaryWriter* w, const ResumeRingShard& shard) {
+  w->WriteDouble(shard.query.r);
+  w->WriteI64(shard.query.k);
+  w->WriteI64(shard.query.win);
+  w->WriteI64(shard.query.slide);
+  w->WriteI64(shard.evicted_to);
+  w->WriteU64(shard.entries.size());
+  for (const ResumeRingShard::Entry& e : shard.entries) {
+    w->WriteI64(e.boundary);
+    w->WriteBool(e.degraded);
+    w->WriteU64(e.outliers.size());
+    for (const Seq s : e.outliers) w->WriteI64(s);
+  }
+}
+
+bool ReadRingShard(BinaryReader* r, ResumeRingShard* shard,
+                   std::string* error) {
+  uint64_t entries = 0;
+  if (!r->ReadDouble(&shard->query.r) || !r->ReadI64(&shard->query.k) ||
+      !r->ReadI64(&shard->query.win) || !r->ReadI64(&shard->query.slide) ||
+      !r->ReadI64(&shard->evicted_to) || !r->ReadU64(&entries)) {
+    return Malformed(error, "truncated ring shard");
+  }
+  shard->query.attribute_set = 0;
+  for (uint64_t i = 0; i < entries; ++i) {
+    ResumeRingShard::Entry e;
+    uint64_t count = 0;
+    if (!r->ReadI64(&e.boundary) || !r->ReadBool(&e.degraded) ||
+        !r->ReadU64(&count)) {
+      return Malformed(error, "truncated ring entry");
+    }
+    for (uint64_t j = 0; j < count; ++j) {
+      Seq s = 0;
+      if (!r->ReadI64(&s)) return Malformed(error, "truncated ring entry");
+      e.outliers.push_back(s);
+    }
+    shard->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* MsgTypeName(MsgType type) {
@@ -84,6 +154,26 @@ const char* MsgTypeName(MsgType type) {
       return "emission";
     case MsgType::kError:
       return "error";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kReplSnapshot:
+      return "repl-snapshot";
+    case MsgType::kReplBatch:
+      return "repl-batch";
+    case MsgType::kReplAck:
+      return "repl-ack";
+  }
+  return "unknown";
+}
+
+const char* ServerRoleName(ServerRole role) {
+  switch (role) {
+    case ServerRole::kPrimary:
+      return "primary";
+    case ServerRole::kStandby:
+      return "standby";
   }
   return "unknown";
 }
@@ -99,6 +189,7 @@ std::string EncodeHelloAck(const HelloAckMsg& msg) {
   w.WriteU32(msg.protocol_version);
   w.WriteU32(msg.window_type);
   w.WriteU32(msg.metric);
+  w.WriteU32(msg.role);
   w.WriteBytes(msg.detector);
   w.WriteI64(msg.last_boundary);
   return Finish(&w);
@@ -126,12 +217,15 @@ std::string EncodeSubscribe(const SubscribeMsg& msg) {
   w.WriteI64(msg.query.k);
   w.WriteI64(msg.query.win);
   w.WriteI64(msg.query.slide);
+  w.WriteI64(msg.resume_from);
   return Finish(&w);
 }
 
 std::string EncodeSubscribeAck(const SubscribeAckMsg& msg) {
   BinaryWriter w = Begin(MsgType::kSubscribeAck);
   w.WriteI64(msg.query_id);
+  w.WriteU64(msg.replayed);
+  w.WriteBool(msg.gap);
   w.WriteBytes(msg.error);
   return Finish(&w);
 }
@@ -164,12 +258,56 @@ std::string EncodeError(const ErrorMsg& msg) {
   return Finish(&w);
 }
 
+std::string EncodePing(const PingMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kPing);
+  w.WriteU64(msg.token);
+  return Finish(&w);
+}
+
+std::string EncodePong(const PongMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kPong);
+  w.WriteU64(msg.token);
+  w.WriteU32(msg.role);
+  w.WriteI64(msg.last_boundary);
+  w.WriteU64(msg.ingest_queue_depth);
+  w.WriteU64(msg.send_queue_depth);
+  w.WriteU64(msg.active_connections);
+  return Finish(&w);
+}
+
+std::string EncodeReplSnapshot(const ReplSnapshotMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kReplSnapshot);
+  w.WriteI64(msg.boundary);
+  w.WriteBytes(msg.state);
+  w.WriteU64(msg.ring.size());
+  for (const ResumeRingShard& shard : msg.ring) WriteRingShard(&w, shard);
+  return Finish(&w);
+}
+
+std::string EncodeReplBatch(const ReplBatchMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kReplBatch);
+  w.WriteI64(msg.prev_boundary);
+  w.WriteI64(msg.boundary);
+  w.WriteU64(msg.points.size());
+  for (const Point& p : msg.points) WritePoint(&w, p);
+  w.WriteU64(msg.results.size());
+  for (const EmissionRecord& rec : msg.results) WriteEmissionRecord(&w, rec);
+  return Finish(&w);
+}
+
+std::string EncodeReplAck(const ReplAckMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kReplAck);
+  w.WriteI64(msg.boundary);
+  w.WriteBool(msg.need_snapshot);
+  return Finish(&w);
+}
+
 bool PeekType(std::string_view payload, MsgType* type, std::string* error) {
   BinaryReader r(payload);
   uint32_t word = 0;
   if (!r.ReadU32(&word)) return Malformed(error, "truncated type word");
   if (word < static_cast<uint32_t>(MsgType::kHello) ||
-      word > static_cast<uint32_t>(MsgType::kError)) {
+      word > static_cast<uint32_t>(MsgType::kReplAck)) {
     return Malformed(error, "unknown message type");
   }
   *type = static_cast<MsgType>(word);
@@ -190,8 +328,8 @@ bool DecodeHelloAck(std::string_view payload, HelloAckMsg* out,
   BinaryReader r(payload);
   if (!ConsumeType(&r, MsgType::kHelloAck, error)) return false;
   if (!r.ReadU32(&out->protocol_version) || !r.ReadU32(&out->window_type) ||
-      !r.ReadU32(&out->metric) || !r.ReadBytes(&out->detector) ||
-      !r.ReadI64(&out->last_boundary)) {
+      !r.ReadU32(&out->metric) || !r.ReadU32(&out->role) ||
+      !r.ReadBytes(&out->detector) || !r.ReadI64(&out->last_boundary)) {
     return Malformed(error, "truncated hello-ack");
   }
   return FinishDecode(r, error);
@@ -230,7 +368,8 @@ bool DecodeSubscribe(std::string_view payload, SubscribeMsg* out,
   BinaryReader r(payload);
   if (!ConsumeType(&r, MsgType::kSubscribe, error)) return false;
   if (!r.ReadDouble(&out->query.r) || !r.ReadI64(&out->query.k) ||
-      !r.ReadI64(&out->query.win) || !r.ReadI64(&out->query.slide)) {
+      !r.ReadI64(&out->query.win) || !r.ReadI64(&out->query.slide) ||
+      !r.ReadI64(&out->resume_from)) {
     return Malformed(error, "truncated subscribe");
   }
   out->query.attribute_set = 0;
@@ -241,7 +380,8 @@ bool DecodeSubscribeAck(std::string_view payload, SubscribeAckMsg* out,
                         std::string* error) {
   BinaryReader r(payload);
   if (!ConsumeType(&r, MsgType::kSubscribeAck, error)) return false;
-  if (!r.ReadI64(&out->query_id) || !r.ReadBytes(&out->error)) {
+  if (!r.ReadI64(&out->query_id) || !r.ReadU64(&out->replayed) ||
+      !r.ReadBool(&out->gap) || !r.ReadBytes(&out->error)) {
     return Malformed(error, "truncated subscribe-ack");
   }
   return FinishDecode(r, error);
@@ -290,6 +430,79 @@ bool DecodeError(std::string_view payload, ErrorMsg* out, std::string* error) {
   if (!ConsumeType(&r, MsgType::kError, error)) return false;
   if (!r.ReadBytes(&out->message)) {
     return Malformed(error, "truncated error message");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodePing(std::string_view payload, PingMsg* out, std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kPing, error)) return false;
+  if (!r.ReadU64(&out->token)) return Malformed(error, "truncated ping");
+  return FinishDecode(r, error);
+}
+
+bool DecodePong(std::string_view payload, PongMsg* out, std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kPong, error)) return false;
+  if (!r.ReadU64(&out->token) || !r.ReadU32(&out->role) ||
+      !r.ReadI64(&out->last_boundary) || !r.ReadU64(&out->ingest_queue_depth) ||
+      !r.ReadU64(&out->send_queue_depth) ||
+      !r.ReadU64(&out->active_connections)) {
+    return Malformed(error, "truncated pong");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeReplSnapshot(std::string_view payload, ReplSnapshotMsg* out,
+                        std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kReplSnapshot, error)) return false;
+  uint64_t count = 0;
+  if (!r.ReadI64(&out->boundary) || !r.ReadBytes(&out->state) ||
+      !r.ReadU64(&count)) {
+    return Malformed(error, "truncated repl-snapshot");
+  }
+  out->ring.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    ResumeRingShard shard;
+    if (!ReadRingShard(&r, &shard, error)) return false;
+    out->ring.push_back(std::move(shard));
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeReplBatch(std::string_view payload, ReplBatchMsg* out,
+                     std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kReplBatch, error)) return false;
+  uint64_t points = 0;
+  if (!r.ReadI64(&out->prev_boundary) || !r.ReadI64(&out->boundary) ||
+      !r.ReadU64(&points)) {
+    return Malformed(error, "truncated repl-batch");
+  }
+  out->points.clear();
+  for (uint64_t i = 0; i < points; ++i) {
+    Point p;
+    if (!ReadPoint(&r, &p, error)) return false;
+    out->points.push_back(std::move(p));
+  }
+  uint64_t results = 0;
+  if (!r.ReadU64(&results)) return Malformed(error, "truncated repl-batch");
+  out->results.clear();
+  for (uint64_t i = 0; i < results; ++i) {
+    EmissionRecord rec;
+    if (!ReadEmissionRecord(&r, &rec, error)) return false;
+    out->results.push_back(std::move(rec));
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeReplAck(std::string_view payload, ReplAckMsg* out,
+                   std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kReplAck, error)) return false;
+  if (!r.ReadI64(&out->boundary) || !r.ReadBool(&out->need_snapshot)) {
+    return Malformed(error, "truncated repl-ack");
   }
   return FinishDecode(r, error);
 }

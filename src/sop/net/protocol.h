@@ -15,6 +15,12 @@
 //   queries     kSubscribe -> kSubscribeAck, kUnsubscribe -> kUnsubscribeAck
 //   emissions   kEmission (server-push)  per-subscriber filtered results
 //   errors      kError (server-push)     diagnostic; connection stays up
+//   health      kPing -> kPong           role, stream position, queue depths
+//   replication kReplSnapshot/kReplBatch -> kReplAck
+//               primary -> standby state shipping (DESIGN.md Sec. 16): full
+//               session snapshots plus the post-snapshot batch tail, each
+//               batch chained to its predecessor's boundary so the standby
+//               can detect gaps and demand a fresh snapshot
 //
 // FrameDecoder is the incremental receive path: it accepts bytes exactly
 // as recv(2) hands them over — short reads, partial frames, many frames
@@ -44,8 +50,10 @@ namespace net {
 
 /// Wire protocol version negotiated in the handshake. Bumped on any
 /// incompatible message-body change; the frame format version
-/// (common/frame.h) covers the framing itself.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// (common/frame.h) covers the framing itself. v2 adds the server role to
+/// the handshake, resume positions to subscriptions, the health plane and
+/// the replication plane.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Upper bound on one frame's payload, enforced on both send and receive.
 /// Large enough for ~100k ingested points per batch, small enough that a
@@ -64,10 +72,28 @@ enum class MsgType : uint32_t {
   kUnsubscribeAck = 8,  // server -> client: removal result
   kEmission = 9,        // server -> client: one query's outliers at a boundary
   kError = 10,          // server -> client: diagnostic (connection stays up)
+  kPing = 11,           // either direction: health probe
+  kPong = 12,           // reply: role, stream position, queue depths
+  kReplSnapshot = 13,   // primary -> standby: full session state + ring
+  kReplBatch = 14,      // primary -> standby: one batch + its emissions
+  kReplAck = 15,        // standby -> primary: applied position / resync ask
 };
 
 /// Human-readable type name for logs and test failures.
 const char* MsgTypeName(MsgType type);
+
+/// Whether a server is serving traffic or hot-standing-by for a primary.
+enum class ServerRole : uint32_t {
+  kPrimary = 0,  // accepts ingest and subscriptions
+  kStandby = 1,  // applies replication only; promotes on primary loss
+};
+
+/// Human-readable role name ("primary" / "standby").
+const char* ServerRoleName(ServerRole role);
+
+/// Sentinel for "no resume position" in SubscribeMsg::resume_from (and for
+/// "no batch ingested yet" boundaries throughout the protocol).
+inline constexpr int64_t kNoResume = INT64_MIN;
 
 struct HelloMsg {
   uint32_t protocol_version = kProtocolVersion;
@@ -77,6 +103,7 @@ struct HelloAckMsg {
   uint32_t protocol_version = kProtocolVersion;
   uint32_t window_type = 0;  // WindowType under the hood
   uint32_t metric = 0;       // Metric under the hood
+  uint32_t role = 0;         // ServerRole under the hood
   std::string detector;      // factory name the server compiles
   /// The shared stream's last advanced boundary (INT64_MIN when no batch
   /// has been ingested yet). Late-joining ingesters continue from here —
@@ -104,12 +131,25 @@ struct IngestAckMsg {
 
 struct SubscribeMsg {
   OutlierQuery query;  // full attribute space only (attribute_set == 0)
+  /// A reconnecting subscriber's high-water mark: the boundary of the last
+  /// emission it received for this query. kNoResume (the default) means a
+  /// fresh subscription. With a real value, the server replays every
+  /// retained emission for this query's parameters past `resume_from`
+  /// (ahead of the subscribe ack) and suppresses later live emissions at
+  /// or below it, so a reconnect delivers each emission exactly once.
+  int64_t resume_from = kNoResume;
 };
 
 struct SubscribeAckMsg {
   /// Assigned query id (> 0); 0 when the subscription was refused, with
   /// the reason in `error`.
   int64_t query_id = 0;
+  /// Emissions replayed from the resume ring ahead of this ack.
+  uint64_t replayed = 0;
+  /// True when the resume ring no longer reached back to `resume_from`:
+  /// emissions in the uncovered span are lost, and the first delivered
+  /// emission after this ack carries degraded=true to mark the gap.
+  bool gap = false;
   std::string error;
 };
 
@@ -136,6 +176,85 @@ struct ErrorMsg {
   std::string message;
 };
 
+struct PingMsg {
+  /// Echo token: the pong carries it back so overlapping probes on one
+  /// connection can be told apart.
+  uint64_t token = 0;
+};
+
+struct PongMsg {
+  uint64_t token = 0;
+  uint32_t role = 0;  // ServerRole under the hood
+  /// Last advanced boundary (kNoResume before the first batch).
+  int64_t last_boundary = kNoResume;
+  uint64_t ingest_queue_depth = 0;
+  /// Frames queued across all subscriber send queues.
+  uint64_t send_queue_depth = 0;
+  uint64_t active_connections = 0;
+};
+
+/// One retained emission, addressed by the query's *parameters* rather
+/// than its connection-scoped id: ids die with their connection, but a
+/// reconnecting subscriber re-describes the same (r, k, window, slide)
+/// query, and the resume ring matches on exactly that.
+struct EmissionRecord {
+  OutlierQuery query;  // only r/k/window/slide matter (attribute_set == 0)
+  int64_t boundary = 0;
+  bool degraded = false;
+  std::vector<Seq> outliers;
+};
+
+/// One query fingerprint's slice of the resume ring: its retained
+/// emissions in boundary order, plus the highest boundary ever evicted
+/// from the slice (kNoResume when nothing was) — the marker that lets a
+/// resume distinguish "nothing was emitted before my first entry" from
+/// "emissions existed but the ring wrapped", i.e. whether a reconnect owes
+/// the client a `gap` flag.
+struct ResumeRingShard {
+  OutlierQuery query;  // only r/k/window/slide matter (attribute_set == 0)
+  int64_t evicted_to = INT64_MIN;
+  struct Entry {
+    int64_t boundary = 0;
+    bool degraded = false;
+    std::vector<Seq> outliers;
+  };
+  std::vector<Entry> entries;
+};
+
+struct ReplSnapshotMsg {
+  /// Boundary the session blob captures (kNoResume for an empty session).
+  int64_t boundary = kNoResume;
+  /// SopSession::SaveState blob — already framed and CRC'd internally, so
+  /// a standby validates it twice (frame CRC + blob CRC) before applying.
+  std::string state;
+  /// The primary's resume ring at that boundary, shipped whole so a
+  /// freshly promoted standby can serve resumes for emissions it never
+  /// itself computed.
+  std::vector<ResumeRingShard> ring;
+};
+
+struct ReplBatchMsg {
+  /// The boundary this batch chains from: the standby applies only when
+  /// it equals its own last applied boundary, drops the batch as stale
+  /// when behind it, and NAKs (ReplAckMsg::need_snapshot) when ahead —
+  /// making replication self-healing across connection churn.
+  int64_t prev_boundary = kNoResume;
+  int64_t boundary = 0;
+  std::vector<Point> points;
+  /// The primary's emissions for this batch (every subscribed query due
+  /// at `boundary`), so the standby's ring mirrors the primary's without
+  /// recomputation drift.
+  std::vector<EmissionRecord> results;
+};
+
+struct ReplAckMsg {
+  /// The standby's last applied boundary after processing the message.
+  int64_t boundary = kNoResume;
+  /// Chain broken (or snapshot failed to apply): primary must ship a
+  /// fresh snapshot before any further batches.
+  bool need_snapshot = false;
+};
+
 /// --- encoding ----------------------------------------------------------
 /// Each encoder returns one complete frame, ready to write to a socket.
 
@@ -149,6 +268,11 @@ std::string EncodeUnsubscribe(const UnsubscribeMsg& msg);
 std::string EncodeUnsubscribeAck(const UnsubscribeAckMsg& msg);
 std::string EncodeEmission(const EmissionMsg& msg);
 std::string EncodeError(const ErrorMsg& msg);
+std::string EncodePing(const PingMsg& msg);
+std::string EncodePong(const PongMsg& msg);
+std::string EncodeReplSnapshot(const ReplSnapshotMsg& msg);
+std::string EncodeReplBatch(const ReplBatchMsg& msg);
+std::string EncodeReplAck(const ReplAckMsg& msg);
 
 /// --- decoding ----------------------------------------------------------
 /// PeekType reads the payload's type word; the per-type decoders verify it
@@ -175,6 +299,14 @@ bool DecodeUnsubscribeAck(std::string_view payload, UnsubscribeAckMsg* out,
 bool DecodeEmission(std::string_view payload, EmissionMsg* out,
                     std::string* error);
 bool DecodeError(std::string_view payload, ErrorMsg* out, std::string* error);
+bool DecodePing(std::string_view payload, PingMsg* out, std::string* error);
+bool DecodePong(std::string_view payload, PongMsg* out, std::string* error);
+bool DecodeReplSnapshot(std::string_view payload, ReplSnapshotMsg* out,
+                        std::string* error);
+bool DecodeReplBatch(std::string_view payload, ReplBatchMsg* out,
+                     std::string* error);
+bool DecodeReplAck(std::string_view payload, ReplAckMsg* out,
+                   std::string* error);
 
 /// Incremental frame extraction over a raw byte stream. See file comment.
 class FrameDecoder {

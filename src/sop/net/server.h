@@ -2,7 +2,7 @@
 //
 // One server hosts one SopSession (core/session.h) compiled through the
 // string detector factory (detector/factory.h), and speaks the framed wire
-// protocol (net/protocol.h) over plain TCP. Three message planes:
+// protocol (net/protocol.h) over plain TCP. Message planes:
 //
 //   ingest         clients push point batches ending at strictly
 //                  increasing window boundaries; the session advances and
@@ -17,32 +17,59 @@
 //                  rebuild-and-replay so a fresh subscriber still starts
 //                  with a populated window,
 //   emissions      every due query's outliers are pushed to exactly the
-//                  clients subscribed to that query.
+//                  clients subscribed to that query,
+//   health         kPing from any client answers with the server's role,
+//                  stream position and queue depths,
+//   replication    a primary ships its session to a hot standby (below).
 //
 // This is the paper's sharing story as a service: however many clients
 // subscribe, each ingested batch runs ONE shared detector pass; emission
 // routing is just id-filtered fan-out of that single answer set.
 //
+// High availability (DESIGN.md Sec. 16): with `replicate_host` set, a
+// primary streams its state to a standby over the same wire protocol — a
+// full kReplSnapshot (session blob + resume ring) whenever the chain is
+// (re)established, then one kReplBatch per advanced batch, each chained to
+// its predecessor's boundary. The standby (options.standby) applies them
+// into a live session, refuses ingest/subscribe while standing by, and —
+// with promote_on_loss — promotes itself to primary the moment the
+// replication connection dies, serving from the last replicated boundary.
+// Replication is self-healing: a broken chain or failed apply NAKs
+// (ReplAck.need_snapshot) and the primary ships a fresh snapshot.
+//
+// Exactly-once resume: the server retains the last `resume_ring` emissions
+// per query fingerprint (r, k, win, slide). A reconnecting subscriber
+// passes its high-water boundary in SubscribeMsg::resume_from; the server
+// replays every retained later emission ahead of the subscribe ack and
+// suppresses live duplicates, so across a disconnect — or a failover, the
+// ring is replicated and checkpointed — each emission is delivered exactly
+// once. When the ring no longer reaches back far enough, the ack carries
+// `gap` and the next live emission is flagged degraded instead of lying.
+//
 // Threading: one accept thread, one reader and one writer thread per
-// connection, and a single detection loop hosted on the server's
-// ThreadPool (common/thread_pool.h) that serializes every session
-// operation — boundaries are global, so detection is sequential by design
-// and everything else is I/O. Readers hand ingest batches to the detection
-// loop through a bounded queue (backpressure propagates to the client's
-// TCP stream); emission delivery goes through bounded per-client send
-// queues governed by the engine's overload policies (detector/engine.h):
-// kBlock applies backpressure to the detection loop, kDropOldest sheds the
-// oldest queued emission and flags the subscriber's next emission
-// `degraded` so the gap is visible. Control replies (acks, errors) are
-// never shed.
+// connection, an optional replication thread, and a single detection loop
+// hosted on the server's ThreadPool (common/thread_pool.h) that serializes
+// every session operation — boundaries are global, so detection is
+// sequential by design and everything else is I/O. Readers hand ingest
+// batches to the detection loop through a bounded queue (backpressure
+// propagates to the client's TCP stream); emission delivery goes through
+// bounded per-client send queues governed by the engine's overload
+// policies (detector/engine.h): kBlock applies backpressure to the
+// detection loop, kDropOldest sheds the oldest queued emission and flags
+// the subscriber's next emission `degraded` so the gap is visible. Control
+// replies (acks, errors) are never shed.
 //
 // Resilience: socket reads/writes ride out injected transient faults with
 // bounded backoff (net/socket.h); malformed frames poison only their own
-// connection (counted, never the process); with a checkpoint path
-// configured the server periodically saves the session (atomic temp +
-// rename, CRC-framed) and a restarted server resumes from it — subscribers
-// reconnect and re-register, and emissions continue as if uninterrupted
-// (the serving analog of ExecutionEngine::RunResumed).
+// connection (counted, never the process); a reader that stalls mid-frame
+// past `idle_timeout_ms` is disconnected (slow-loris defense) while
+// quiet-but-healthy subscribers are left alone. With a checkpoint path
+// configured the server periodically saves a full snapshot — session state
+// plus resume ring, as one kReplSnapshot frame — keeping the last
+// `checkpoint_generations` files; a restarted server restores the newest
+// generation that decodes cleanly (then falls back to older ones, then to
+// the legacy bare-SaveState format), so one corrupt file costs one
+// checkpoint interval, not the run.
 //
 // Observability: net/server/* counters, gauges and histograms (see
 // DESIGN.md Sec. 13) when obs is enabled, plus an always-on ServerStats
@@ -58,6 +85,7 @@
 
 #include "sop/common/distance.h"
 #include "sop/detector/engine.h"
+#include "sop/net/protocol.h"
 #include "sop/net/socket.h"
 #include "sop/query/plan.h"
 #include "sop/stream/window.h"
@@ -100,11 +128,48 @@ struct ServerOptions {
   /// stream.
   size_t max_ingest_queue = 64;
 
-  /// Periodic session checkpointing; empty path disables. The file is
-  /// written atomically every `checkpoint_every_batches` advanced batches
-  /// and restored (if present and valid) by Start().
+  /// Periodic session checkpointing; empty path disables. A full snapshot
+  /// (session + resume ring, one CRC-framed kReplSnapshot) is written
+  /// atomically every `checkpoint_every_batches` advanced batches and
+  /// restored (newest valid generation wins) by Start().
   std::string checkpoint_path;
   int64_t checkpoint_every_batches = 64;
+  /// Checkpoint generations kept on disk: `path` is newest, `path.1` the
+  /// one before, ... up to `path.<generations-1>`. Restore walks newest to
+  /// oldest past corrupt/missing files. 1 keeps the single-file behavior.
+  int checkpoint_generations = 1;
+
+  /// --- high availability -------------------------------------------------
+
+  /// Serve as a hot standby: apply replication from a primary, refuse
+  /// ingest and subscriptions until promoted.
+  bool standby = false;
+  /// Standby only: promote to primary when the replication connection
+  /// drops (primary crash, network cut). Without it the standby keeps
+  /// waiting for the primary to come back.
+  bool promote_on_loss = false;
+  /// Primary only: ship every advanced batch (and snapshots as needed) to
+  /// the standby at host:port. Empty host disables replication.
+  std::string replicate_host;
+  int replicate_port = 0;
+  /// How long the replication thread waits for the standby's ReplAck
+  /// before declaring the link dead and reconnecting (with a fresh
+  /// snapshot).
+  int repl_ack_timeout_ms = 2000;
+  /// Bounded primary-side replication queue (encoded batches). Overflow —
+  /// a standby slower than the stream — drops the queue and resyncs with
+  /// one snapshot instead of stalling ingest.
+  size_t max_repl_queue = 256;
+
+  /// Retained emissions per query fingerprint (r, k, win, slide) for
+  /// reconnect resume. Bounds resume memory; a reconnect further back than
+  /// the ring reaches is answered with `gap` instead of silence.
+  size_t resume_ring = 1024;
+
+  /// Disconnect a connection that stalls mid-frame for this long (ms); -1
+  /// disables. Connections with no partial frame pending are never timed
+  /// out — subscribers legitimately go quiet for hours.
+  int idle_timeout_ms = -1;
 
   /// Worker threads on the server's pool (hosts the detection loop).
   int num_threads = 1;
@@ -137,12 +202,24 @@ struct ServerStats {
   uint64_t protocol_errors = 0;    // malformed frames / messages / plans
   uint64_t checkpoints = 0;        // checkpoint files published
   uint64_t checkpoint_failures = 0;
+  uint64_t idle_disconnects = 0;   // mid-frame stalls timed out
+  // --- high availability --------------------------------------------------
+  uint64_t promotions = 0;               // standby -> primary transitions
+  uint64_t repl_snapshots_sent = 0;      // primary: acked snapshots shipped
+  uint64_t repl_batches_sent = 0;        // primary: acked batches shipped
+  uint64_t repl_snapshots_applied = 0;   // standby: snapshots restored
+  uint64_t repl_batches_applied = 0;     // standby: batches advanced
+  uint64_t repl_resyncs = 0;             // chain breaks healed by snapshot
+  uint64_t resume_replayed = 0;          // emissions replayed on reconnect
+  uint64_t resume_gaps = 0;              // resumes past the ring's reach
   bool resumed = false;            // Start() restored a session checkpoint
+  ServerRole role = ServerRole::kPrimary;  // current role (promotion moves it)
+  int64_t last_boundary = kNoResume;       // stream position
 };
 
 /// The serving endpoint. Start() binds and serves until Stop() (or
-/// destruction). Thread-safe: Start/Stop from one controlling thread;
-/// stats() from anywhere.
+/// destruction). Thread-safe: Start/Stop/Kill from one controlling thread;
+/// stats()/role() from anywhere.
 class SopServer {
  public:
   explicit SopServer(ServerOptions options);
@@ -156,13 +233,24 @@ class SopServer {
   /// bad configuration or bind failure.
   bool Start(std::string* error);
 
-  /// Drains and joins everything; idempotent. Connected clients see an
-  /// orderly close. With checkpointing configured, a final checkpoint is
-  /// written so a restart resumes from the exact stop point.
+  /// Graceful shutdown; idempotent. Stops accepting, lets readers finish,
+  /// drains the detection loop and every send queue (bounded — a peer that
+  /// refuses to read is cut off after a few seconds), flushes replication,
+  /// and writes a final checkpoint so a restart resumes from the exact
+  /// stop point.
   void Stop();
+
+  /// Crash simulation: tear every socket and thread down immediately,
+  /// dropping queued work, replication and the final checkpoint on the
+  /// floor. What a kill -9 looks like to clients and the standby, without
+  /// killing the test process. Idempotent; mutually exclusive with Stop().
+  void Kill();
 
   /// The bound TCP port (valid after Start()).
   int port() const { return port_; }
+
+  /// Current role; a standby flips to kPrimary when promoted.
+  ServerRole role() const;
 
   ServerStats stats() const;
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -79,6 +80,10 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 void Socket::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
 void Socket::Close() {
@@ -163,6 +168,26 @@ int64_t RecvSome(const Socket& sock, char* buf, size_t cap,
     Fail(error, "recv");
     return -1;
   }
+}
+
+int64_t RecvSomeTimeout(const Socket& sock, char* buf, size_t cap,
+                        int timeout_ms, const NetRetryOptions& retry,
+                        std::string* error) {
+  if (timeout_ms >= 0) {
+    pollfd pfd;
+    pfd.fd = sock.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    for (;;) {
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready > 0) break;  // readable, hung up, or errored: recv decides
+      if (ready == 0) return kRecvTimedOut;
+      if (errno == EINTR) continue;
+      Fail(error, "poll");
+      return -1;
+    }
+  }
+  return RecvSome(sock, buf, cap, retry, error);
 }
 
 bool SendAll(const Socket& sock, const std::string& bytes,

@@ -47,6 +47,10 @@ class Socket {
   /// shutdown(2) both directions — unblocks any thread inside recv/send on
   /// this socket (the close path readers/writers rely on).
   void ShutdownBoth();
+  /// shutdown(2) the read direction only: the blocked reader wakes with an
+  /// orderly EOF while queued outbound bytes still drain — the graceful
+  /// stop path, as opposed to ShutdownBoth's discard-everything close.
+  void ShutdownRead();
   void Close();
 
  private:
@@ -73,6 +77,17 @@ Socket ConnectTcp(const std::string& host, int port, std::string* error);
 /// exhausting the retry budget reports an error.
 int64_t RecvSome(const Socket& sock, char* buf, size_t cap,
                  const NetRetryOptions& retry, std::string* error);
+
+/// RecvSome with a deadline: poll(2)s for readability up to `timeout_ms`
+/// first. Returns -2 when the deadline passes with no data (not an error —
+/// the caller decides whether an idle wait is fatal), otherwise exactly
+/// RecvSome's contract. timeout_ms < 0 degenerates to a plain RecvSome.
+int64_t RecvSomeTimeout(const Socket& sock, char* buf, size_t cap,
+                        int timeout_ms, const NetRetryOptions& retry,
+                        std::string* error);
+
+/// Result code RecvSomeTimeout returns when the deadline expires.
+inline constexpr int64_t kRecvTimedOut = -2;
 
 /// Sends all of `bytes`, looping over short writes. Consults the injector
 /// at net-write per send(2) call. Returns false on error or a closed peer.

@@ -50,6 +50,7 @@ TEST(ProtocolTest, HelloAckRoundTrip) {
   msg.protocol_version = kProtocolVersion;
   msg.window_type = 1;
   msg.metric = 1;
+  msg.role = static_cast<uint32_t>(ServerRole::kStandby);
   msg.detector = "mcod-grid";
   msg.last_boundary = -42;
   HelloAckMsg out;
@@ -61,6 +62,7 @@ TEST(ProtocolTest, HelloAckRoundTrip) {
   EXPECT_EQ(out.protocol_version, kProtocolVersion);
   EXPECT_EQ(out.window_type, 1u);
   EXPECT_EQ(out.metric, 1u);
+  EXPECT_EQ(out.role, static_cast<uint32_t>(ServerRole::kStandby));
   EXPECT_EQ(out.detector, "mcod-grid");
   EXPECT_EQ(out.last_boundary, -42);
 }
@@ -104,6 +106,7 @@ TEST(ProtocolTest, AckAndControlRoundTrips) {
     msg.query.k = 4;
     msg.query.win = 200;
     msg.query.slide = 50;
+    msg.resume_from = 150;
     SubscribeMsg out;
     std::string error;
     std::string_view payload;
@@ -115,9 +118,20 @@ TEST(ProtocolTest, AckAndControlRoundTrips) {
     EXPECT_EQ(out.query.win, 200);
     EXPECT_EQ(out.query.slide, 50);
     EXPECT_EQ(out.query.attribute_set, 0u);
+    EXPECT_EQ(out.resume_from, 150);
+    // The default — no resume position — survives the wire too.
+    SubscribeMsg fresh;
+    const std::string fresh_frame = EncodeSubscribe(fresh);
+    ASSERT_TRUE(UnwrapFrame(fresh_frame, &payload, &error)) << error;
+    ASSERT_TRUE(DecodeSubscribe(payload, &out, &error)) << error;
+    EXPECT_EQ(out.resume_from, kNoResume);
   }
   {
-    SubscribeAckMsg msg{9, "why not"};
+    SubscribeAckMsg msg;
+    msg.query_id = 9;
+    msg.replayed = 12;
+    msg.gap = true;
+    msg.error = "why not";
     SubscribeAckMsg out;
     std::string error;
     std::string_view payload;
@@ -125,6 +139,8 @@ TEST(ProtocolTest, AckAndControlRoundTrips) {
     ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
     ASSERT_TRUE(DecodeSubscribeAck(payload, &out, &error)) << error;
     EXPECT_EQ(out.query_id, 9);
+    EXPECT_EQ(out.replayed, 12u);
+    EXPECT_TRUE(out.gap);
     EXPECT_EQ(out.error, "why not");
   }
   {
@@ -175,6 +191,137 @@ TEST(ProtocolTest, EmissionRoundTripWithDegradedFlag) {
   EXPECT_EQ(out.boundary, 400);
   EXPECT_TRUE(out.degraded);
   EXPECT_EQ(out.outliers, (std::vector<Seq>{0, 17, 123456789}));
+}
+
+TEST(ProtocolTest, PingPongRoundTrip) {
+  {
+    PingMsg msg;
+    msg.token = 0xdeadbeefcafeull;
+    PingMsg out;
+    std::string error;
+    std::string_view payload;
+    const std::string frame = EncodePing(msg);
+    ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+    ASSERT_TRUE(DecodePing(payload, &out, &error)) << error;
+    EXPECT_EQ(out.token, 0xdeadbeefcafeull);
+  }
+  {
+    PongMsg msg;
+    msg.token = 7;
+    msg.role = static_cast<uint32_t>(ServerRole::kStandby);
+    msg.last_boundary = 4200;
+    msg.ingest_queue_depth = 3;
+    msg.send_queue_depth = 19;
+    msg.active_connections = 2;
+    PongMsg out;
+    std::string error;
+    std::string_view payload;
+    const std::string frame = EncodePong(msg);
+    ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+    ASSERT_TRUE(DecodePong(payload, &out, &error)) << error;
+    EXPECT_EQ(out.token, 7u);
+    EXPECT_EQ(out.role, static_cast<uint32_t>(ServerRole::kStandby));
+    EXPECT_EQ(out.last_boundary, 4200);
+    EXPECT_EQ(out.ingest_queue_depth, 3u);
+    EXPECT_EQ(out.send_queue_depth, 19u);
+    EXPECT_EQ(out.active_connections, 2u);
+  }
+}
+
+EmissionRecord MakeRecord(double r, int64_t k, int64_t win, int64_t slide,
+                          int64_t boundary, bool degraded,
+                          std::vector<Seq> outliers) {
+  EmissionRecord rec;
+  rec.query.r = r;
+  rec.query.k = k;
+  rec.query.win = win;
+  rec.query.slide = slide;
+  rec.boundary = boundary;
+  rec.degraded = degraded;
+  rec.outliers = std::move(outliers);
+  return rec;
+}
+
+ResumeRingShard MakeShard(double r, int64_t k, int64_t win, int64_t slide,
+                          int64_t evicted_to) {
+  ResumeRingShard shard;
+  shard.query.r = r;
+  shard.query.k = k;
+  shard.query.win = win;
+  shard.query.slide = slide;
+  shard.evicted_to = evicted_to;
+  return shard;
+}
+
+TEST(ProtocolTest, ReplSnapshotRoundTrip) {
+  ReplSnapshotMsg msg;
+  msg.boundary = 900;
+  msg.state = std::string("opaque\0blob", 11);  // embedded NUL survives
+  ResumeRingShard a = MakeShard(1.5, 4, 200, 50, 700);
+  a.entries.push_back({800, false, {1, 2, 3}});
+  a.entries.push_back({850, true, {}});
+  ResumeRingShard b = MakeShard(2.5, 8, 400, 100, INT64_MIN);
+  b.entries.push_back({900, false, {42}});
+  msg.ring.push_back(a);
+  msg.ring.push_back(b);
+  ReplSnapshotMsg out;
+  std::string error;
+  std::string_view payload;
+  const std::string frame = EncodeReplSnapshot(msg);
+  ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+  ASSERT_TRUE(DecodeReplSnapshot(payload, &out, &error)) << error;
+  EXPECT_EQ(out.boundary, 900);
+  EXPECT_EQ(out.state, msg.state);
+  ASSERT_EQ(out.ring.size(), 2u);
+  EXPECT_EQ(out.ring[0].query.r, 1.5);
+  EXPECT_EQ(out.ring[0].query.k, 4);
+  EXPECT_EQ(out.ring[0].evicted_to, 700);
+  ASSERT_EQ(out.ring[0].entries.size(), 2u);
+  EXPECT_EQ(out.ring[0].entries[0].boundary, 800);
+  EXPECT_FALSE(out.ring[0].entries[0].degraded);
+  EXPECT_EQ(out.ring[0].entries[0].outliers, (std::vector<Seq>{1, 2, 3}));
+  EXPECT_TRUE(out.ring[0].entries[1].degraded);
+  EXPECT_TRUE(out.ring[0].entries[1].outliers.empty());
+  EXPECT_EQ(out.ring[1].query.slide, 100);
+  EXPECT_EQ(out.ring[1].evicted_to, INT64_MIN);
+  ASSERT_EQ(out.ring[1].entries.size(), 1u);
+  EXPECT_EQ(out.ring[1].entries[0].outliers, (std::vector<Seq>{42}));
+}
+
+TEST(ProtocolTest, ReplBatchRoundTrip) {
+  ReplBatchMsg msg;
+  msg.prev_boundary = 100;
+  msg.boundary = 200;
+  msg.points.push_back(MakePoint(150, {1.0, 2.0}));
+  msg.points.push_back(MakePoint(199, {-3.5}));
+  msg.results.push_back(MakeRecord(0.5, 2, 100, 100, 200, false, {42}));
+  ReplBatchMsg out;
+  std::string error;
+  std::string_view payload;
+  const std::string frame = EncodeReplBatch(msg);
+  ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+  ASSERT_TRUE(DecodeReplBatch(payload, &out, &error)) << error;
+  EXPECT_EQ(out.prev_boundary, 100);
+  EXPECT_EQ(out.boundary, 200);
+  ASSERT_EQ(out.points.size(), 2u);
+  EXPECT_EQ(out.points[0].values, (std::vector<double>{1.0, 2.0}));
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0].query.r, 0.5);
+  EXPECT_EQ(out.results[0].outliers, std::vector<Seq>{42});
+}
+
+TEST(ProtocolTest, ReplAckRoundTrip) {
+  ReplAckMsg msg;
+  msg.boundary = 777;
+  msg.need_snapshot = true;
+  ReplAckMsg out;
+  std::string error;
+  std::string_view payload;
+  const std::string frame = EncodeReplAck(msg);
+  ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+  ASSERT_TRUE(DecodeReplAck(payload, &out, &error)) << error;
+  EXPECT_EQ(out.boundary, 777);
+  EXPECT_TRUE(out.need_snapshot);
 }
 
 TEST(ProtocolTest, PeekTypeRejectsUnknownWord) {
@@ -300,7 +447,10 @@ TEST(ProtocolTest, FrameDecoderRejectsBitFlips) {
 }
 
 TEST(ProtocolTest, TruncationAtEveryPrefixIsRejectedOrIncomplete) {
-  const std::string frame = EncodeSubscribeAck(SubscribeAckMsg{4, "ok"});
+  SubscribeAckMsg ack;
+  ack.query_id = 4;
+  ack.error = "ok";
+  const std::string frame = EncodeSubscribeAck(ack);
   for (size_t len = 0; len < frame.size(); ++len) {
     FrameDecoder decoder;
     decoder.Append(frame.data(), len);
@@ -340,6 +490,20 @@ TEST(ProtocolTest, CorruptionFuzzNeverCrashes) {
   emission.query_id = 3;
   emission.boundary = 1000;
   emission.outliers = {1, 2, 3, 4, 5};
+  ReplBatchMsg repl_batch;
+  repl_batch.prev_boundary = 900;
+  repl_batch.boundary = 1000;
+  for (int i = 0; i < 16; ++i) {
+    repl_batch.points.push_back(MakePoint(900 + i, {2.0 * i}));
+  }
+  repl_batch.results.push_back(
+      MakeRecord(1.0, 3, 500, 100, 1000, false, {7, 8}));
+  ReplSnapshotMsg repl_snap;
+  repl_snap.boundary = 1000;
+  repl_snap.state = std::string(256, '\x5a');
+  ResumeRingShard fuzz_shard = MakeShard(1.0, 3, 500, 100, 800);
+  fuzz_shard.entries.push_back({900, true, {5}});
+  repl_snap.ring.push_back(fuzz_shard);
   const std::vector<std::string> valids = {
       EncodeHello(HelloMsg{}),
       EncodeHelloAck(HelloAckMsg{}),
@@ -347,6 +511,11 @@ TEST(ProtocolTest, CorruptionFuzzNeverCrashes) {
       EncodeSubscribe(SubscribeMsg{}),
       EncodeEmission(emission),
       EncodeError(ErrorMsg{"diagnostic"}),
+      EncodePing(PingMsg{99}),
+      EncodePong(PongMsg{}),
+      EncodeReplSnapshot(repl_snap),
+      EncodeReplBatch(repl_batch),
+      EncodeReplAck(ReplAckMsg{}),
   };
 
   Rng rng(seed);
@@ -408,6 +577,11 @@ TEST(ProtocolTest, CorruptionFuzzNeverCrashes) {
           UnsubscribeAckMsg unsub_ack;
           EmissionMsg em;
           ErrorMsg err;
+          PingMsg ping;
+          PongMsg pong;
+          ReplSnapshotMsg rsnap;
+          ReplBatchMsg rbatch;
+          ReplAckMsg rack;
           DecodeHello(payload, &hello, &error);
           DecodeHelloAck(payload, &hello_ack, &error);
           DecodeIngest(payload, &in, &error);
@@ -418,6 +592,11 @@ TEST(ProtocolTest, CorruptionFuzzNeverCrashes) {
           DecodeUnsubscribeAck(payload, &unsub_ack, &error);
           DecodeEmission(payload, &em, &error);
           DecodeError(payload, &err, &error);
+          DecodePing(payload, &ping, &error);
+          DecodePong(payload, &pong, &error);
+          DecodeReplSnapshot(payload, &rsnap, &error);
+          DecodeReplBatch(payload, &rbatch, &error);
+          DecodeReplAck(payload, &rack, &error);
         }
       }
     }

@@ -287,6 +287,96 @@ TEST(RecoveryTest, InjectedByteCorruptionIsCaughtOnLoad) {
   EXPECT_NE(error.find("injected"), std::string::npos) << error;
 }
 
+// Generation retention: with generations > 1 every save rotates the
+// previous files one slot older, and restore walks newest-to-oldest past
+// anything the corruption matrix can do to the newer generations.
+TEST(RecoveryTest, GenerationFallbackSurvivesCorruptNewest) {
+  const std::string path = ::testing::TempDir() + "/recovery_gen.ck";
+  for (int g = 0; g < 4; ++g) {
+    std::remove(io::GenerationPath(path, g).c_str());
+  }
+
+  RunCheckpoint cp;
+  cp.batch_span = 4;
+  std::string error;
+  cp.detector_name = "gen-a";
+  ASSERT_TRUE(SaveRunCheckpoint(path, cp, &error, 3)) << error;
+  cp.detector_name = "gen-b";
+  ASSERT_TRUE(SaveRunCheckpoint(path, cp, &error, 3)) << error;
+  cp.detector_name = "gen-c";
+  ASSERT_TRUE(SaveRunCheckpoint(path, cp, &error, 3)) << error;
+
+  RunCheckpoint out;
+  int gen = -1;
+  ASSERT_TRUE(LoadRunCheckpoint(path, &out, &error, 3, &gen)) << error;
+  EXPECT_EQ(gen, 0);
+  EXPECT_EQ(out.detector_name, "gen-c");
+
+  std::string newest;
+  ASSERT_TRUE(io::ReadFileToString(path, &newest, &error)) << error;
+
+  // Truncation/bit-flip matrix on the newest generation (the recovery_test
+  // corruption drill, now against fallback): every mutant must be rejected
+  // AND restore must land on generation 1, never fail outright.
+  for (size_t len = 0; len < newest.size(); len += 7) {
+    ASSERT_TRUE(io::WriteFileAtomic(path, newest.substr(0, len), &error));
+    int g = -1;
+    ASSERT_TRUE(LoadRunCheckpoint(path, &out, &error, 3, &g))
+        << "truncation to " << len << ": " << error;
+    EXPECT_EQ(g, 1) << "truncation to " << len;
+    EXPECT_EQ(out.detector_name, "gen-b");
+  }
+  for (size_t bit = 0; bit < newest.size() * 8; bit += 11) {
+    std::string mutated = newest;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    ASSERT_TRUE(io::WriteFileAtomic(path, mutated, &error));
+    int g = -1;
+    ASSERT_TRUE(LoadRunCheckpoint(path, &out, &error, 3, &g))
+        << "bit flip " << bit << ": " << error;
+    EXPECT_EQ(g, 1) << "bit flip " << bit;
+    EXPECT_EQ(out.detector_name, "gen-b");
+  }
+
+  // Crash between rotation and publish: the newest slot is simply missing.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  gen = -1;
+  ASSERT_TRUE(LoadRunCheckpoint(path, &out, &error, 3, &gen)) << error;
+  EXPECT_EQ(gen, 1);
+  EXPECT_EQ(out.detector_name, "gen-b");
+
+  // An injected read failure on the newest slot behaves like corruption:
+  // the next generation answers (bounded to one failure so it does).
+  ASSERT_TRUE(io::WriteFileAtomic(path, newest, &error)) << error;
+  {
+    FaultInjector injector(5);
+    injector.SetRate(FaultSite::kCheckpointRead, 1.0);
+    injector.SetMaxFailures(FaultSite::kCheckpointRead, 1);
+    ScopedFaultInjection armed(&injector);
+    int g = -1;
+    ASSERT_TRUE(LoadRunCheckpoint(path, &out, &error, 3, &g)) << error;
+    EXPECT_EQ(g, 1);
+    EXPECT_EQ(out.detector_name, "gen-b");
+  }
+
+  // Two corrupt generations fall through to the third...
+  ASSERT_TRUE(io::WriteFileAtomic(path, "garbage", &error));
+  ASSERT_TRUE(
+      io::WriteFileAtomic(io::GenerationPath(path, 1), "junk", &error));
+  gen = -1;
+  ASSERT_TRUE(LoadRunCheckpoint(path, &out, &error, 3, &gen)) << error;
+  EXPECT_EQ(gen, 2);
+  EXPECT_EQ(out.detector_name, "gen-a");
+
+  // ...and with every generation gone, restore fails with one diagnostic
+  // per slot tried.
+  ASSERT_TRUE(
+      io::WriteFileAtomic(io::GenerationPath(path, 2), "zip", &error));
+  EXPECT_FALSE(LoadRunCheckpoint(path, &out, &error, 3));
+  EXPECT_NE(error.find(path + ":"), std::string::npos) << error;
+  EXPECT_NE(error.find(path + ".1:"), std::string::npos) << error;
+  EXPECT_NE(error.find(path + ".2:"), std::string::npos) << error;
+}
+
 // Randomized corruption fuzz: mutate a valid checkpoint (bit flips,
 // truncations, splices) and feed pure garbage; the deserializer must
 // reject everything without crashing. Time-bounded; the seed is logged so

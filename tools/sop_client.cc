@@ -4,7 +4,9 @@
 // Usage:
 //   sop_client --port P [--host H] --subscribe R,K,WIN,SLIDE [...]
 //              --data points.csv [--batch B | --span S] [--max-print N]
-//              [--churn-every N]
+//              [--churn-every N] [--reconnect HOST:PORT[,...]]
+//              [--resume-state PATH]
+//   sop_client --port P [--host H] --ping
 //
 // The client subscribes every --subscribe query (repeatable; parameters
 // match one workload spec line), then slices the CSV stream into ingest
@@ -21,6 +23,19 @@
 // reported at the end. Against a sop/sop-grid server these churns are
 // overlay swaps (no history replay) — compare the same run against
 // --exact-basis or another detector to see the rebuild cost.
+//
+// --reconnect arms transparent recovery (DESIGN.md Sec. 16): a dead
+// connection mid-stream is ridden out by failing over across the listed
+// endpoints (e.g. a primary and its hot standby), resuming every
+// subscription from its high-water boundary and re-ingesting the unacked
+// batch tail — emissions stay exactly-once across the failover.
+//
+// --resume-state PATH persists per-query high-water marks ("r k win slide
+// hwm" lines) across *process* restarts: a rerun subscribes with the saved
+// boundary and the server replays only what this client has not yet seen.
+//
+// --ping probes a server's health instead of streaming: prints its role
+// (primary/standby), stream position and queue depths, then exits.
 
 #include <algorithm>
 #include <chrono>
@@ -28,8 +43,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "flags.h"
@@ -38,6 +55,54 @@
 #include "sop/stream/window.h"
 
 namespace {
+
+// Query parameters as a resume-state key (ids are connection-scoped; the
+// parameters are what survives a restart).
+using QueryKey = std::tuple<double, int64_t, int64_t, int64_t>;
+
+bool ParseEndpoint(const std::string& spec, sop::net::Endpoint* out) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  char* end = nullptr;
+  const long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return false;
+  }
+  out->host = spec.substr(0, colon);
+  out->port = static_cast<int>(port);
+  return true;
+}
+
+// Resume-state file: one "r k win slide hwm" line per query. A missing
+// file is an empty state (first run); malformed tails are ignored.
+std::map<QueryKey, int64_t> LoadResumeState(const std::string& path) {
+  std::map<QueryKey, int64_t> state;
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return state;
+  double r = 0.0;
+  long long k = 0, win = 0, slide = 0, hwm = 0;
+  while (std::fscanf(f, "%lf %lld %lld %lld %lld", &r, &k, &win, &slide,
+                     &hwm) == 5) {
+    state[QueryKey(r, k, win, slide)] = hwm;
+  }
+  std::fclose(f);
+  return state;
+}
+
+bool SaveResumeState(const std::string& path,
+                     const std::map<QueryKey, int64_t>& state) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const auto& [key, hwm] : state) {
+    if (hwm == sop::net::kNoResume) continue;
+    std::fprintf(f, "%.17g %lld %lld %lld %lld\n", std::get<0>(key),
+                 static_cast<long long>(std::get<1>(key)),
+                 static_cast<long long>(std::get<2>(key)),
+                 static_cast<long long>(std::get<3>(key)),
+                 static_cast<long long>(hwm));
+  }
+  return std::fclose(f) == 0;
+}
 
 bool ParseQuery(const std::string& spec, sop::OutlierQuery* query) {
   double r = 0.0;
@@ -88,13 +153,24 @@ int main(int argc, char** argv) {
   int64_t span = 0;
   int64_t max_print = 20;
   int64_t churn_every = 0;
+  bool want_ping = false;
+  bool reconnect_armed = false;
+  std::vector<net::Endpoint> endpoints;
+  std::string resume_state_path;
 
   cli::FlagSet flags(
       "Subscribe outlier queries on a running sop_server and stream a point\n"
       "file through it, printing every emission. --subscribe is repeatable;\n"
       "its parameters match one workload spec line. --churn-every N drops\n"
       "and re-registers one subscription (round-robin) every N batches and\n"
-      "reports the re-subscribe round-trip latency.");
+      "reports the re-subscribe round-trip latency.\n"
+      "\n"
+      "--reconnect rides out server failures by failing over across the\n"
+      "listed endpoints (primary + standby), resuming subscriptions from\n"
+      "their high-water boundaries so emissions stay exactly-once.\n"
+      "--resume-state persists those boundaries across client restarts.\n"
+      "--ping probes a server's health (role, position, queue depths)\n"
+      "instead of streaming.");
   flags.Str("--host", &host, "H", "server address");
   flags.Int("--port", &port, "P", "server port (required)", 0);
   flags.Str("--data", &data_path, "points.csv", "stream points CSV");
@@ -116,8 +192,60 @@ int main(int argc, char** argv) {
   flags.I64("--max-print", &max_print, "N", "emission print cap", 0);
   flags.I64("--churn-every", &churn_every, "N",
             "drop + re-subscribe one query every N batches", 1);
+  flags.Flag("--reconnect", "HOST:PORT[,...]",
+             "ride out server failures: fail over across these endpoints "
+             "and resume exactly-once",
+             [&](const std::string& v, std::string* error) {
+               for (const std::string& spec : cli::SplitCommas(v)) {
+                 net::Endpoint ep;
+                 if (!ParseEndpoint(spec, &ep)) {
+                   *error = "bad endpoint '" + spec + "' (expect HOST:PORT)";
+                   return false;
+                 }
+                 endpoints.push_back(ep);
+               }
+               reconnect_armed = true;
+               return true;
+             });
+  flags.Str("--resume-state", &resume_state_path, "PATH",
+            "persist per-query high-water marks here; a rerun resumes "
+            "from them");
+  flags.Bool("--ping", &want_ping,
+             "probe the server's health (role, stream position, queue "
+             "depths) and exit");
   int exit_code = 0;
   if (!flags.Parse(argc, argv, &exit_code)) return exit_code;
+  if (want_ping) {
+    if (port <= 0) {
+      flags.UsageError("--ping requires --port");
+      return 2;
+    }
+    net::SopClient client;
+    std::string error;
+    if (!client.Connect(host, port, &error)) {
+      std::fprintf(stderr, "connect error: %s\n", error.c_str());
+      return 1;
+    }
+    net::PongMsg pong;
+    if (!client.Ping(&pong, &error)) {
+      std::fprintf(stderr, "ping error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s:%d is %s\n", host.c_str(), port,
+                net::ServerRoleName(static_cast<net::ServerRole>(pong.role)));
+    if (pong.last_boundary == net::kNoResume) {
+      std::printf("last boundary: none (no batches yet)\n");
+    } else {
+      std::printf("last boundary: %lld\n",
+                  static_cast<long long>(pong.last_boundary));
+    }
+    std::printf("queues: %llu ingest batches, %llu emission frames; "
+                "%llu connections\n",
+                static_cast<unsigned long long>(pong.ingest_queue_depth),
+                static_cast<unsigned long long>(pong.send_queue_depth),
+                static_cast<unsigned long long>(pong.active_connections));
+    return 0;
+  }
   if (port <= 0 || data_path.empty() || queries.empty()) {
     flags.UsageError("--port, --data and at least one --subscribe are "
                      "required");
@@ -141,6 +269,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "connect error: %s\n", error.c_str());
     return 1;
   }
+  if (reconnect_armed) {
+    net::ReconnectOptions ropt;
+    ropt.endpoints = endpoints;
+    client.EnableReconnect(std::move(ropt));
+  }
   const bool count_windows =
       client.server_info().window_type ==
       static_cast<uint32_t>(WindowType::kCount);
@@ -148,9 +281,18 @@ int main(int argc, char** argv) {
                client.server_info().detector.c_str(),
                count_windows ? "count" : "time");
 
+  std::map<QueryKey, int64_t> resume_state;
+  if (!resume_state_path.empty()) {
+    resume_state = LoadResumeState(resume_state_path);
+  }
+
   std::vector<int64_t> ids;
   for (const OutlierQuery& query : queries) {
-    const int64_t id = client.Subscribe(query, &error);
+    const QueryKey key(query.r, query.k, query.win, query.slide);
+    const auto resume = resume_state.find(key);
+    const int64_t resume_from =
+        resume == resume_state.end() ? net::kNoResume : resume->second;
+    const int64_t id = client.Subscribe(query, resume_from, &error);
     if (id == 0) {
       std::fprintf(stderr, "subscribe error: %s\n", error.c_str());
       return 1;
@@ -162,6 +304,15 @@ int main(int argc, char** argv) {
                  static_cast<long long>(query.k),
                  static_cast<long long>(query.win),
                  static_cast<long long>(query.slide));
+    if (resume_from != net::kNoResume) {
+      std::fprintf(stderr,
+                   "  resumed past boundary %lld: %llu replayed%s\n",
+                   static_cast<long long>(resume_from),
+                   static_cast<unsigned long long>(client.last_replayed()),
+                   client.last_gap() ? " (gap: ring wrapped, next emission "
+                                       "flagged degraded)"
+                                     : "");
+    }
   }
 
   int64_t printed = 0;
@@ -255,6 +406,22 @@ int main(int argc, char** argv) {
     }
     if (ok && !chunk.empty()) ok = ship(std::move(chunk), boundary);
   }
+  // Persist high-water marks before retiring the subscriptions (they are
+  // per live subscription), keeping a prior mark when this run saw no new
+  // emissions for a query.
+  if (!resume_state_path.empty()) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int64_t hwm = client.high_water(ids[i]);
+      if (hwm == net::kNoResume) continue;
+      const OutlierQuery& q = queries[i];
+      resume_state[QueryKey(q.r, q.k, q.win, q.slide)] = hwm;
+    }
+    if (!SaveResumeState(resume_state_path, resume_state)) {
+      std::fprintf(stderr, "resume-state error: cannot write %s\n",
+                   resume_state_path.c_str());
+      if (ok) return 1;
+    }
+  }
   if (!ok) return 1;
 
   for (const int64_t id : ids) {
@@ -270,6 +437,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(total_emissions),
                static_cast<unsigned long long>(client.bytes_sent()),
                static_cast<unsigned long long>(client.bytes_received()));
+  if (reconnect_armed) {
+    std::fprintf(stderr,
+                 "survived %llu reconnects (%llu duplicate emissions "
+                 "suppressed)\n",
+                 static_cast<unsigned long long>(client.reconnects()),
+                 static_cast<unsigned long long>(client.dropped_duplicates()));
+  }
   if (churns > 0) {
     std::fprintf(stderr,
                  "churned %llu subscriptions: mean %.1f us, max %.1f us "

@@ -5,9 +5,11 @@
 //              [--window-type count|time] [--metric euclidean|manhattan]
 //              [--history-window N] [--send-queue N]
 //              [--overload block|drop-oldest] [--ingest-queue N]
-//              [--checkpoint PATH] [--checkpoint-every N] [--threads N]
+//              [--checkpoint PATH] [--checkpoint-every N]
+//              [--checkpoint-generations N] [--threads N]
 //              [--exact-basis] [--headroom-r R[,R...]] [--headroom-k N]
-//              [--headroom-win N]
+//              [--headroom-win N] [--idle-timeout MS]
+//              [--replicate-to HOST:PORT | --standby [--promote-on-loss]]
 //              [--metrics] [--kernel scalar|avx2|auto]
 //              [--fault-rate SITE=RATE[,...]] [--fault-seed S]
 //              [--fault-max N]
@@ -15,10 +17,19 @@
 // Hosts one shared SopSession behind the sop wire protocol (DESIGN.md
 // Sec. 13): clients ingest point batches, subscribe/unsubscribe outlier
 // queries live, and receive per-query emissions. Runs until SIGINT or
-// SIGTERM, then shuts down cleanly (final checkpoint included when
-// --checkpoint is set; a restarted server resumes from it). Prints the
-// bound port on stdout — `--port 0` picks an ephemeral one, which scripts
-// capture from that line.
+// SIGTERM, then shuts down cleanly: stops accepting, drains the detection
+// loop and every send queue, flushes replication, writes a final
+// checkpoint when --checkpoint is set (a restarted server resumes from
+// it), and exits 0. Prints the bound port on stdout — `--port 0` picks an
+// ephemeral one, which scripts capture from that line.
+//
+// High availability (DESIGN.md Sec. 16): run a primary with
+// `--replicate-to HOST:PORT` pointing at a second server started with
+// `--standby --promote-on-loss` and the same session flags. The primary
+// streams its state to the standby after every batch; when the primary
+// dies, the standby promotes itself and serves from the last replicated
+// boundary — reconnecting clients (sop_client --reconnect) resume there
+// exactly once.
 
 #include <csignal>
 #include <cstdio>
@@ -116,6 +127,41 @@ int main(int argc, char** argv) {
             "write checkpoints here; a restarted server resumes from it");
   flags.I64("--checkpoint-every", &options.checkpoint_every_batches, "N",
             "checkpoint every N ingested batches", 1);
+  flags.Int("--checkpoint-generations", &options.checkpoint_generations, "N",
+            "checkpoint generations kept on disk; restore falls back past "
+            "corrupt files",
+            1);
+  flags.Int("--idle-timeout", &options.idle_timeout_ms, "MS",
+            "disconnect a connection stalled mid-frame this long "
+            "(-1 = never)",
+            -1);
+  flags.Flag("--replicate-to", "HOST:PORT",
+             "primary: ship state to a hot standby after every batch",
+             [&options](const std::string& v, std::string* error) {
+               const size_t colon = v.rfind(':');
+               if (colon == std::string::npos || colon == 0) {
+                 *error = "expect HOST:PORT";
+                 return false;
+               }
+               char* end = nullptr;
+               const long port = std::strtol(v.c_str() + colon + 1, &end, 10);
+               if (end == nullptr || *end != '\0' || port <= 0 ||
+                   port > 65535) {
+                 *error = "bad port";
+                 return false;
+               }
+               options.replicate_host = v.substr(0, colon);
+               options.replicate_port = static_cast<int>(port);
+               return true;
+             });
+  flags.Switch("--standby",
+               "serve as a hot standby: apply replication, refuse "
+               "ingest/subscribe until promoted",
+               [&options] { options.standby = true; });
+  flags.Switch("--promote-on-loss",
+               "standby: promote to primary when the replication "
+               "connection drops",
+               [&options] { options.promote_on_loss = true; });
   flags.Int("--threads", &options.num_threads, "N",
             "detector worker threads (0 = one per core)", 0);
   flags.Switch("--exact-basis",
@@ -186,6 +232,14 @@ int main(int argc, char** argv) {
               options.window_type == WindowType::kCount ? "count" : "time",
               options.host.c_str(), server.port());
   std::fflush(stdout);
+  if (options.standby) {
+    std::fprintf(stderr, "hot standby%s\n",
+                 options.promote_on_loss ? ", promoting on primary loss"
+                                         : "");
+  } else if (!options.replicate_host.empty()) {
+    std::fprintf(stderr, "replicating to %s:%d\n",
+                 options.replicate_host.c_str(), options.replicate_port);
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -215,6 +269,21 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.rebuild_changes),
                static_cast<unsigned long long>(stats.basis_extends),
                static_cast<unsigned long long>(stats.replayed_points));
+  if (options.standby || !options.replicate_host.empty()) {
+    std::fprintf(stderr,
+                 "ha: role %s, %llu promotions, sent %llu snapshots + "
+                 "%llu batches, applied %llu + %llu, %llu resyncs, "
+                 "%llu emissions replayed (%llu gaps)\n",
+                 net::ServerRoleName(stats.role),
+                 static_cast<unsigned long long>(stats.promotions),
+                 static_cast<unsigned long long>(stats.repl_snapshots_sent),
+                 static_cast<unsigned long long>(stats.repl_batches_sent),
+                 static_cast<unsigned long long>(stats.repl_snapshots_applied),
+                 static_cast<unsigned long long>(stats.repl_batches_applied),
+                 static_cast<unsigned long long>(stats.repl_resyncs),
+                 static_cast<unsigned long long>(stats.resume_replayed),
+                 static_cast<unsigned long long>(stats.resume_gaps));
+  }
   if (want_metrics) {
     const obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
     std::fprintf(stderr, "%s\n", obs::ToJson(snap).c_str());
