@@ -1,0 +1,288 @@
+// micro_shard: scale-out plane throughput — a 4-worker routed cluster
+// (cluster/router.h) vs a single sop_server, same stream, same workload,
+// over loopback.
+//
+// Both configurations ingest the identical fig-7-shaped stream (case-A
+// style count windows: shared slide, k=30, varying r) through the same
+// blocking wire client; the routed run fronts 4 in-process workers with
+// spatial sharding + halo replication, the single run is one server. The
+// emission streams are asserted identical after canonical (boundary,
+// query) ordering — the merge-exactness contract — so the throughput
+// columns compare the same answers.
+//
+// Numbers are reported honestly: on a single-core container the routed
+// run cannot beat the single server (all workers share one CPU and the
+// fabric adds serialization + halo duplication); the speedup column is
+// the hardware story, the halo_overhead ratio is the replication tax the
+// partitioner pays for exactness.
+//
+//   RESULT bench=micro_shard config=single|routed-4 points=... wall_ms=...
+//          pps=...
+//
+// Output: a table, RESULT lines, and BENCH_shard.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "figure.h"
+#include "sop/cluster/partition.h"
+#include "sop/cluster/router.h"
+#include "sop/gen/synthetic.h"
+#include "sop/net/client.h"
+#include "sop/net/server.h"
+
+namespace sop {
+namespace {
+
+constexpr int kWorkers = 4;
+
+struct Emitted {
+  size_t query_index = 0;
+  int64_t boundary = 0;
+  std::vector<Seq> outliers;
+
+  bool operator<(const Emitted& o) const {
+    if (boundary != o.boundary) return boundary < o.boundary;
+    if (query_index != o.query_index) return query_index < o.query_index;
+    return outliers < o.outliers;
+  }
+  bool operator==(const Emitted& o) const {
+    return boundary == o.boundary && query_index == o.query_index &&
+           outliers == o.outliers;
+  }
+};
+
+struct RunOutcome {
+  std::vector<Emitted> emissions;
+  double wall_ms = 0.0;
+  uint64_t points = 0;
+  bool ok = false;
+};
+
+/// Subscribes `queries`, streams `points` in slide-sized count batches,
+/// and collects every emission. Identical client code against either a
+/// single server or a router front — that is the point.
+RunOutcome DriveIngest(int port, const std::vector<OutlierQuery>& queries,
+                       const std::vector<Point>& points, int64_t slide) {
+  using Clock = std::chrono::steady_clock;
+  RunOutcome out;
+  net::SopClient client;
+  std::string error;
+  if (!client.Connect("127.0.0.1", port, &error)) {
+    std::fprintf(stderr, "connect: %s\n", error.c_str());
+    return out;
+  }
+  std::map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int64_t id = client.Subscribe(queries[i], &error);
+    if (id <= 0) {
+      std::fprintf(stderr, "subscribe: %s\n", error.c_str());
+      return out;
+    }
+    index_of[id] = i;
+  }
+  const auto t0 = Clock::now();
+  const size_t step = static_cast<size_t>(slide);
+  int64_t boundary = 0;
+  for (size_t start = 0; start + step <= points.size(); start += step) {
+    std::vector<Point> batch(points.begin() + static_cast<ptrdiff_t>(start),
+                             points.begin() + static_cast<ptrdiff_t>(start) +
+                                 static_cast<ptrdiff_t>(step));
+    boundary += slide;
+    net::IngestAckMsg ack;
+    if (!client.Ingest(boundary, batch, &ack, &error) ||
+        ack.accepted != batch.size()) {
+      std::fprintf(stderr, "ingest @%lld: %s\n",
+                   static_cast<long long>(boundary), error.c_str());
+      return out;
+    }
+    out.points += batch.size();
+    for (net::EmissionMsg& e : client.TakeEmissions()) {
+      const auto it = index_of.find(e.query_id);
+      if (it == index_of.end()) continue;
+      std::sort(e.outliers.begin(), e.outliers.end());
+      out.emissions.push_back(
+          Emitted{it->second, e.boundary, std::move(e.outliers)});
+    }
+  }
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  std::sort(out.emissions.begin(), out.emissions.end());
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+}  // namespace sop
+
+int main() {
+  using namespace sop;
+
+  // Fig-7 shape (vary r, shared slide) on the synthetic default domain
+  // [0, 10000]: r_max 800 is the frozen halo, < a 4-shard region width
+  // (2500), so replication is a band, not a blanket.
+  const bool fast = bench::FastMode();
+  const int64_t n = fast ? 6000 : 30000;
+  const int64_t win = fast ? 2000 : 10000;
+  const int64_t slide = 500;
+  std::vector<OutlierQuery> queries;
+  for (const double r : {400.0, 600.0, 800.0}) {
+    queries.emplace_back(r, 30, win, slide);
+  }
+
+  gen::SyntheticOptions gopt;
+  gopt.seed = 20160626;
+  gopt.dimensions = 2;
+  std::vector<Point> points = gen::GenerateSynthetic(n, gopt);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].seq = static_cast<Seq>(i);
+  }
+
+  std::printf("micro_shard: routed %d-worker cluster vs single server "
+              "(%lld points, win %lld, slide %lld, %zu queries, "
+              "%u hardware threads)\n",
+              kWorkers, static_cast<long long>(n),
+              static_cast<long long>(win), static_cast<long long>(slide),
+              queries.size(), std::thread::hardware_concurrency());
+
+  std::string error;
+
+  // --- single server, count windows, the no-router baseline ------------
+  RunOutcome single;
+  {
+    net::ServerOptions so;
+    so.window_type = WindowType::kCount;
+    so.detector = "sop";
+    so.history_window = 1 << 15;
+    net::SopServer server(so);
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "single server: %s\n", error.c_str());
+      return 1;
+    }
+    single = DriveIngest(server.port(), queries, points, slide);
+    server.Stop();
+    if (!single.ok) return 1;
+  }
+
+  // --- routed: 4 workers + router, spatial sharding + halo -------------
+  RunOutcome routed;
+  cluster::RouterStats rstats;
+  {
+    std::vector<std::unique_ptr<net::SopServer>> workers;
+    cluster::RouterOptions ro;
+    ro.window_type = WindowType::kCount;
+    ro.detector = "sop";
+    for (int i = 0; i < kWorkers; ++i) {
+      net::ServerOptions wo;
+      wo.window_type = WindowType::kTime;  // router translates count
+      wo.detector = "sop";
+      wo.history_window = 1 << 15;
+      workers.push_back(std::make_unique<net::SopServer>(wo));
+      if (!workers.back()->Start(&error)) {
+        std::fprintf(stderr, "worker %d: %s\n", i, error.c_str());
+        return 1;
+      }
+      ro.workers.push_back({"127.0.0.1", workers.back()->port()});
+    }
+    ro.partition =
+        cluster::PartitionSpec::Uniform(gopt.domain_lo, gopt.domain_hi,
+                                        kWorkers);
+    cluster::SopRouter router(ro);
+    if (!router.Start(&error)) {
+      std::fprintf(stderr, "router: %s\n", error.c_str());
+      return 1;
+    }
+    routed = DriveIngest(router.port(), queries, points, slide);
+    rstats = router.stats();
+    router.Stop();
+    for (std::unique_ptr<net::SopServer>& w : workers) w->Stop();
+    if (!routed.ok) return 1;
+  }
+
+  // Merge-exactness: the routed stream must be bit-identical after the
+  // canonical ordering, or the throughput comparison is meaningless.
+  if (!(single.emissions == routed.emissions)) {
+    std::fprintf(stderr,
+                 "FAIL: routed emissions diverge from single-node "
+                 "(single %zu, routed %zu records)\n",
+                 single.emissions.size(), routed.emissions.size());
+    return 1;
+  }
+  if (rstats.degraded || rstats.worker_failures != 0) {
+    std::fprintf(stderr, "FAIL: routed run degraded\n");
+    return 1;
+  }
+
+  const double single_pps =
+      single.wall_ms > 0.0 ? 1000.0 * single.points / single.wall_ms : 0.0;
+  const double routed_pps =
+      routed.wall_ms > 0.0 ? 1000.0 * routed.points / routed.wall_ms : 0.0;
+  const double speedup = single_pps > 0.0 ? routed_pps / single_pps : 0.0;
+  const double halo_overhead =
+      rstats.ingest_points > 0
+          ? static_cast<double>(rstats.routed_points) /
+                static_cast<double>(rstats.ingest_points)
+          : 0.0;
+
+  std::printf("%-10s %10s %10s %12s\n", "config", "points", "wall_ms",
+              "points/s");
+  std::printf("%-10s %10llu %10.1f %12.0f\n", "single",
+              static_cast<unsigned long long>(single.points), single.wall_ms,
+              single_pps);
+  std::printf("%-10s %10llu %10.1f %12.0f\n", "routed-4",
+              static_cast<unsigned long long>(routed.points), routed.wall_ms,
+              routed_pps);
+  std::printf("speedup %.2fx, halo %.0f, replication overhead %.3fx "
+              "(%llu routed / %llu ingested, %llu halo copies), "
+              "%llu emissions\n",
+              speedup, rstats.halo, halo_overhead,
+              static_cast<unsigned long long>(rstats.routed_points),
+              static_cast<unsigned long long>(rstats.ingest_points),
+              static_cast<unsigned long long>(rstats.halo_points),
+              static_cast<unsigned long long>(routed.emissions.size()));
+  std::printf("RESULT bench=micro_shard config=single points=%llu "
+              "wall_ms=%.1f pps=%.0f\n",
+              static_cast<unsigned long long>(single.points), single.wall_ms,
+              single_pps);
+  std::printf("RESULT bench=micro_shard config=routed-4 points=%llu "
+              "wall_ms=%.1f pps=%.0f\n",
+              static_cast<unsigned long long>(routed.points), routed.wall_ms,
+              routed_pps);
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n  \"bench\": \"micro_shard\",\n"
+      "  \"workers\": %d,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"points\": %lld,\n  \"win\": %lld,\n  \"slide\": %lld,\n"
+      "  \"queries\": %zu,\n  \"fast\": %s,\n"
+      "  \"single_pps\": %.0f,\n  \"routed_pps\": %.0f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"halo\": %.1f,\n  \"halo_overhead_ratio\": %.3f,\n"
+      "  \"ingest_points\": %llu,\n  \"routed_points\": %llu,\n"
+      "  \"halo_points\": %llu,\n  \"emissions\": %zu\n}\n",
+      kWorkers, std::thread::hardware_concurrency(),
+      static_cast<long long>(n), static_cast<long long>(win),
+      static_cast<long long>(slide), queries.size(),
+      fast ? "true" : "false", single_pps, routed_pps, speedup, rstats.halo,
+      halo_overhead, static_cast<unsigned long long>(rstats.ingest_points),
+      static_cast<unsigned long long>(rstats.routed_points),
+      static_cast<unsigned long long>(rstats.halo_points),
+      routed.emissions.size());
+
+  std::ofstream out("BENCH_shard.json", std::ios::binary);
+  if (!out || !(out << buf) || !out.flush()) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(stderr, "wrote BENCH_shard.json\n");
+  return 0;
+}

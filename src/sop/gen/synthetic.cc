@@ -12,6 +12,7 @@ SyntheticSource::SyntheticSource(int64_t n, const SyntheticOptions& options)
   SOP_CHECK(options_.dimensions > 0);
   SOP_CHECK(options_.num_clusters > 0);
   SOP_CHECK(options_.outlier_rate >= 0.0 && options_.outlier_rate <= 1.0);
+  SOP_CHECK(options_.hotspot_frac >= 0.0 && options_.hotspot_frac <= 1.0);
   SOP_CHECK(options_.domain_lo < options_.domain_hi);
   // Cluster centers: evenly placed in the middle band of the domain so the
   // Gaussian mass stays inside it.
@@ -49,9 +50,15 @@ bool SyntheticSource::Next(Point* out) {
       v = rng_.UniformDouble(options_.domain_lo, options_.domain_hi);
     }
   } else {
-    // Inlier candidate: one of the Gaussian clusters.
-    const auto& center =
-        centers_[static_cast<size_t>(rng_.NextBelow(centers_.size()))];
+    // Inlier candidate: one of the Gaussian clusters. The hotspot draw is
+    // gated so hotspot_frac == 0 consumes no extra randomness and existing
+    // seeds keep producing bit-identical streams.
+    size_t which = 0;
+    if (options_.hotspot_frac <= 0.0 ||
+        !rng_.Bernoulli(options_.hotspot_frac)) {
+      which = static_cast<size_t>(rng_.NextBelow(centers_.size()));
+    }
+    const auto& center = centers_[which];
     for (size_t d = 0; d < out->values.size(); ++d) {
       out->values[d] = rng_.Normal(center[d], options_.cluster_stddev);
     }

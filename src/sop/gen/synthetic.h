@@ -34,6 +34,12 @@ struct SyntheticOptions {
   double domain_hi = 10000.0;
   /// Timestamp increment between consecutive points.
   int64_t time_step = 1;
+  /// Spatial skew for scale-out experiments: this fraction of inlier
+  /// candidates is forced into the FIRST cluster instead of a uniformly
+  /// chosen one, concentrating load on whichever shard owns that region.
+  /// 0 (the default) draws nothing extra from the RNG, so existing seeds
+  /// reproduce bit-identical streams.
+  double hotspot_frac = 0.0;
   uint64_t seed = 42;
 };
 

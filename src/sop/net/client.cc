@@ -29,6 +29,8 @@ bool SopClient::Connect(const std::string& host, int port,
   orphans_.clear();
   collect_orphans_ = false;
   recovered_boundary_ = kNoResume;
+  shard_config_set_ = false;
+  shard_config_ = ShardConfigMsg{};
   if (!ConnectRaw(host, port, error)) return false;
   connected_endpoint_ = Endpoint{host, port};
   return true;
@@ -179,6 +181,12 @@ bool SopClient::Unsubscribe(int64_t query_id, std::string* error) {
 
 bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
                        IngestAckMsg* ack, std::string* error) {
+  return Ingest(boundary, points, {}, ack, error);
+}
+
+bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
+                       const std::vector<uint8_t>& owner, IngestAckMsg* ack,
+                       std::string* error) {
   SOP_TRACE("net/client/rtt_ms");
   for (int round = 0;; ++round) {
     std::string attempt_error;
@@ -187,6 +195,7 @@ bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
       IngestMsg msg;
       msg.boundary = boundary;
       msg.points = points;
+      msg.owner = owner;
       std::string payload;
       ok = SendFrame(EncodeIngest(msg), &attempt_error) &&
            ReadUntil(MsgType::kIngestAck, &payload, &attempt_error);
@@ -199,7 +208,7 @@ bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
       if (ack->accepted > 0 && reconnect_armed_) {
         // Retain the acked batch for post-failover re-ingest: a promoted
         // standby may trail by the batches the primary never replicated.
-        sent_batches_.push_back(SentBatch{boundary, points});
+        sent_batches_.push_back(SentBatch{boundary, points, owner});
         while (sent_batches_.size() > std::max<size_t>(1,
                                                        reconnect_.ingest_replay)) {
           sent_batches_.pop_front();
@@ -219,6 +228,33 @@ bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
       ack->emissions = 0;
       return true;
     }
+  }
+}
+
+bool SopClient::ShardConfig(const ShardConfigMsg& config,
+                            ShardConfigAckMsg* ack, std::string* error) {
+  for (int round = 0;; ++round) {
+    std::string attempt_error;
+    std::string payload;
+    bool ok = SendFrame(EncodeShardConfig(config), &attempt_error) &&
+              ReadUntil(MsgType::kShardConfigAck, &payload, &attempt_error);
+    if (ok && !DecodeShardConfigAck(payload, ack, &attempt_error)) {
+      Close();
+      ok = false;
+    }
+    if (ok) {
+      if (ack->ok) {
+        // Remember it so Recover() re-declares the assignment to whatever
+        // incarnation of the worker answers next.
+        shard_config_ = config;
+        shard_config_set_ = true;
+      }
+      return true;
+    }
+    if (!reconnect_armed_ || round >= 1) return Fail(error, attempt_error);
+    // Recovery re-declares any previously accepted config; the re-send on
+    // the next round is idempotent either way.
+    if (!Recover(error)) return false;
   }
 }
 
@@ -254,6 +290,19 @@ bool SopClient::Recover(std::string* error) {
       Close();
       continue;
     }
+    // Re-declare the shard assignment first: a restarted worker comes up
+    // with no config, and stats labeling should precede re-ingest.
+    if (shard_config_set_) {
+      std::string payload;
+      ShardConfigAckMsg sack;
+      if (!SendFrame(EncodeShardConfig(shard_config_), &last_error) ||
+          !ReadUntil(MsgType::kShardConfigAck, &payload, &last_error) ||
+          !DecodeShardConfigAck(payload, &sack, &last_error) || !sack.ok) {
+        if (last_error.empty()) last_error = sack.error;
+        Close();
+        continue;
+      }
+    }
     // Re-register every live subscription, resuming from its high-water
     // mark so the server replays what this client missed and suppresses
     // what it already has.
@@ -288,6 +337,7 @@ bool SopClient::Recover(std::string* error) {
       IngestMsg msg;
       msg.boundary = batch.boundary;
       msg.points = batch.points;
+      msg.owner = batch.owner;
       std::string payload;
       IngestAckMsg ack;
       if (!SendFrame(EncodeIngest(msg), &last_error) ||

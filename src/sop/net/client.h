@@ -136,6 +136,21 @@ class SopClient {
   bool Ingest(int64_t boundary, const std::vector<Point>& points,
               IngestAckMsg* ack, std::string* error);
 
+  /// Ingest with per-point ownership flags (scale-out plane, DESIGN.md
+  /// Sec. 17): `owner` is parallel to `points` (or empty = all owned).
+  /// Routers use this to mark halo replicas; the flags ride along on
+  /// post-failover re-ingest too.
+  bool Ingest(int64_t boundary, const std::vector<Point>& points,
+              const std::vector<uint8_t>& owner, IngestAckMsg* ack,
+              std::string* error);
+
+  /// Declares this endpoint's shard assignment (router -> worker). The
+  /// config is retained and re-declared automatically after every
+  /// reconnect recovery; a worker already claimed with a conflicting
+  /// config acks ok == false (surfaced in `*ack`, returns true).
+  bool ShardConfig(const ShardConfigMsg& config, ShardConfigAckMsg* ack,
+                   std::string* error);
+
   /// Health probe: role, stream position, queue depths. Never triggers
   /// reconnect — a probe that cannot reach the server should say so.
   bool Ping(PongMsg* pong, std::string* error);
@@ -173,6 +188,7 @@ class SopClient {
   struct SentBatch {
     int64_t boundary = 0;
     std::vector<Point> points;
+    std::vector<uint8_t> owner;  // per-point ownership flags (may be empty)
   };
 
   // Connect + handshake without touching session state (the recovery
@@ -225,6 +241,9 @@ class SopClient {
   uint64_t last_replayed_ = 0;
   bool last_gap_ = false;
   uint64_t ping_token_ = 0;
+  // Shard assignment to re-declare after every recovery (scale-out).
+  bool shard_config_set_ = false;
+  ShardConfigMsg shard_config_;
   // During a subscribe, replayed emissions arrive before the ack that
   // names their server id; they wait here until the ack adopts them.
   bool collect_orphans_ = false;

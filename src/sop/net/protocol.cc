@@ -164,6 +164,10 @@ const char* MsgTypeName(MsgType type) {
       return "repl-batch";
     case MsgType::kReplAck:
       return "repl-ack";
+    case MsgType::kShardConfig:
+      return "shard-config";
+    case MsgType::kShardConfigAck:
+      return "shard-config-ack";
   }
   return "unknown";
 }
@@ -200,6 +204,8 @@ std::string EncodeIngest(const IngestMsg& msg) {
   w.WriteI64(msg.boundary);
   w.WriteU64(msg.points.size());
   for (const Point& p : msg.points) WritePoint(&w, p);
+  w.WriteU64(msg.owner.size());
+  for (const uint8_t o : msg.owner) w.WriteBool(o != 0);
   return Finish(&w);
 }
 
@@ -302,12 +308,29 @@ std::string EncodeReplAck(const ReplAckMsg& msg) {
   return Finish(&w);
 }
 
+std::string EncodeShardConfig(const ShardConfigMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kShardConfig);
+  w.WriteU32(msg.shard_index);
+  w.WriteU32(msg.num_shards);
+  w.WriteDouble(msg.lo);
+  w.WriteDouble(msg.hi);
+  w.WriteDouble(msg.halo);
+  return Finish(&w);
+}
+
+std::string EncodeShardConfigAck(const ShardConfigAckMsg& msg) {
+  BinaryWriter w = Begin(MsgType::kShardConfigAck);
+  w.WriteBool(msg.ok);
+  w.WriteBytes(msg.error);
+  return Finish(&w);
+}
+
 bool PeekType(std::string_view payload, MsgType* type, std::string* error) {
   BinaryReader r(payload);
   uint32_t word = 0;
   if (!r.ReadU32(&word)) return Malformed(error, "truncated type word");
   if (word < static_cast<uint32_t>(MsgType::kHello) ||
-      word > static_cast<uint32_t>(MsgType::kReplAck)) {
+      word > static_cast<uint32_t>(MsgType::kShardConfigAck)) {
     return Malformed(error, "unknown message type");
   }
   *type = static_cast<MsgType>(word);
@@ -348,6 +371,17 @@ bool DecodeIngest(std::string_view payload, IngestMsg* out,
     Point p;
     if (!ReadPoint(&r, &p, error)) return false;
     out->points.push_back(std::move(p));
+  }
+  uint64_t owners = 0;
+  if (!r.ReadU64(&owners)) return Malformed(error, "truncated ingest");
+  if (owners != 0 && owners != count) {
+    return Malformed(error, "owner flag count mismatch");
+  }
+  out->owner.clear();
+  for (uint64_t i = 0; i < owners; ++i) {
+    bool o = false;
+    if (!r.ReadBool(&o)) return Malformed(error, "truncated ingest");
+    out->owner.push_back(o ? 1 : 0);
   }
   return FinishDecode(r, error);
 }
@@ -503,6 +537,31 @@ bool DecodeReplAck(std::string_view payload, ReplAckMsg* out,
   if (!ConsumeType(&r, MsgType::kReplAck, error)) return false;
   if (!r.ReadI64(&out->boundary) || !r.ReadBool(&out->need_snapshot)) {
     return Malformed(error, "truncated repl-ack");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeShardConfig(std::string_view payload, ShardConfigMsg* out,
+                       std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kShardConfig, error)) return false;
+  if (!r.ReadU32(&out->shard_index) || !r.ReadU32(&out->num_shards) ||
+      !r.ReadDouble(&out->lo) || !r.ReadDouble(&out->hi) ||
+      !r.ReadDouble(&out->halo)) {
+    return Malformed(error, "truncated shard-config");
+  }
+  if (out->num_shards == 0 || out->shard_index >= out->num_shards) {
+    return Malformed(error, "shard index out of range");
+  }
+  return FinishDecode(r, error);
+}
+
+bool DecodeShardConfigAck(std::string_view payload, ShardConfigAckMsg* out,
+                          std::string* error) {
+  BinaryReader r(payload);
+  if (!ConsumeType(&r, MsgType::kShardConfigAck, error)) return false;
+  if (!r.ReadBool(&out->ok) || !r.ReadBytes(&out->error)) {
+    return Malformed(error, "truncated shard-config-ack");
   }
   return FinishDecode(r, error);
 }

@@ -52,8 +52,9 @@ namespace net {
 /// incompatible message-body change; the frame format version
 /// (common/frame.h) covers the framing itself. v2 adds the server role to
 /// the handshake, resume positions to subscriptions, the health plane and
-/// the replication plane.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// the replication plane. v3 adds the scale-out plane (DESIGN.md Sec. 17):
+/// the shard-config handshake and per-point owner flags on ingest.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Upper bound on one frame's payload, enforced on both send and receive.
 /// Large enough for ~100k ingested points per batch, small enough that a
@@ -77,6 +78,8 @@ enum class MsgType : uint32_t {
   kReplSnapshot = 13,   // primary -> standby: full session state + ring
   kReplBatch = 14,      // primary -> standby: one batch + its emissions
   kReplAck = 15,        // standby -> primary: applied position / resync ask
+  kShardConfig = 16,    // router -> worker: this worker's shard assignment
+  kShardConfigAck = 17, // worker -> router: accepted (or refused) config
 };
 
 /// Human-readable type name for logs and test failures.
@@ -118,6 +121,13 @@ struct IngestMsg {
   /// Points in arrival order. seq values are ignored — the server's
   /// session assigns global arrival sequence numbers itself.
   std::vector<Point> points;
+  /// Scale-out plane only (DESIGN.md Sec. 17): per-point ownership flags,
+  /// parallel to `points`. 1 = this shard owns the point (its outlier
+  /// verdict is authoritative here), 0 = halo replica (present only so
+  /// neighbors near the region edge are counted; the owner shard answers
+  /// for it). Empty means every point is owned — the single-node case, and
+  /// the wire default.
+  std::vector<uint8_t> owner;
 };
 
 struct IngestAckMsg {
@@ -255,6 +265,28 @@ struct ReplAckMsg {
   bool need_snapshot = false;
 };
 
+/// Router -> worker shard assignment (DESIGN.md Sec. 17): declares which
+/// slice of the value domain (first attribute) this worker owns and how
+/// wide the halo around it is. Informational for the worker — routing
+/// decisions are the router's — but it lets the worker label its stats,
+/// sanity-check reconfiguration, and refuse a conflicting second router.
+struct ShardConfigMsg {
+  uint32_t shard_index = 0;  // this worker's shard, in [0, num_shards)
+  uint32_t num_shards = 1;
+  /// Owned region [lo, hi) over the first attribute. The first shard's lo
+  /// and the last shard's hi are +/-infinity so every value has an owner.
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Halo width: points within `halo` of the region (but owned elsewhere)
+  /// are replicated here. Derived from the workload basis r_max upstream.
+  double halo = 0.0;
+};
+
+struct ShardConfigAckMsg {
+  bool ok = false;
+  std::string error;  // refusal reason (e.g. conflicting earlier config)
+};
+
 /// --- encoding ----------------------------------------------------------
 /// Each encoder returns one complete frame, ready to write to a socket.
 
@@ -273,6 +305,8 @@ std::string EncodePong(const PongMsg& msg);
 std::string EncodeReplSnapshot(const ReplSnapshotMsg& msg);
 std::string EncodeReplBatch(const ReplBatchMsg& msg);
 std::string EncodeReplAck(const ReplAckMsg& msg);
+std::string EncodeShardConfig(const ShardConfigMsg& msg);
+std::string EncodeShardConfigAck(const ShardConfigAckMsg& msg);
 
 /// --- decoding ----------------------------------------------------------
 /// PeekType reads the payload's type word; the per-type decoders verify it
@@ -307,6 +341,10 @@ bool DecodeReplBatch(std::string_view payload, ReplBatchMsg* out,
                      std::string* error);
 bool DecodeReplAck(std::string_view payload, ReplAckMsg* out,
                    std::string* error);
+bool DecodeShardConfig(std::string_view payload, ShardConfigMsg* out,
+                       std::string* error);
+bool DecodeShardConfigAck(std::string_view payload, ShardConfigAckMsg* out,
+                          std::string* error);
 
 /// Incremental frame extraction over a raw byte stream. See file comment.
 class FrameDecoder {

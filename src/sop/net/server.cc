@@ -93,6 +93,7 @@ struct SopServer::Impl {
     std::atomic<uint64_t> bytes_out{0};
     std::atomic<uint64_t> ingest_batches{0};
     std::atomic<uint64_t> ingest_points{0};
+    std::atomic<uint64_t> halo_points{0};
     std::atomic<uint64_t> emissions{0};
     std::atomic<uint64_t> shed_emissions{0};
     std::atomic<uint64_t> subscribes{0};
@@ -140,6 +141,14 @@ struct SopServer::Impl {
 
   std::mutex conns_mu;
   std::vector<std::shared_ptr<Conn>> conns;   // guarded by conns_mu
+
+  // Scale-out plane (DESIGN.md Sec. 17): the shard assignment a router
+  // declared for this worker. Informational — routing is the router's job
+  // — but a second, conflicting declaration is refused so two routers
+  // cannot silently split-brain one worker.
+  std::mutex shard_mu;
+  bool shard_set = false;                     // guarded by shard_mu
+  ShardConfigMsg shard;                       // guarded by shard_mu
 
   // Bounded reader -> detection-loop handoff. A full queue blocks readers,
   // so ingest backpressure propagates to the client's TCP stream.
@@ -843,6 +852,36 @@ struct SopServer::Impl {
         }
         return true;
       }
+      case MsgType::kShardConfig: {
+        ShardConfigMsg msg;
+        if (!DecodeShardConfig(payload, &msg, &error)) {
+          SendError(conn, error);
+          return false;
+        }
+        ShardConfigAckMsg ack;
+        {
+          std::lock_guard<std::mutex> lock(shard_mu);
+          if (shard_set && (shard.shard_index != msg.shard_index ||
+                            shard.num_shards != msg.num_shards ||
+                            shard.lo != msg.lo || shard.hi != msg.hi ||
+                            shard.halo != msg.halo)) {
+            ack.ok = false;
+            ack.error = "conflicting shard config already declared";
+          } else {
+            // First declaration, or an idempotent re-send from a
+            // reconnecting router.
+            shard = msg;
+            shard_set = true;
+            ack.ok = true;
+          }
+        }
+        if (ack.ok) {
+          SOP_GAUGE_SET("net/server/shard_index", msg.shard_index);
+          SOP_GAUGE_SET("net/server/num_shards", msg.num_shards);
+        }
+        EnqueueFrame(conn, EncodeShardConfigAck(ack), /*droppable=*/false);
+        return true;
+      }
       default:
         // Server-bound streams never carry server-push types; a client
         // sending one is confused but not fatal.
@@ -1023,6 +1062,8 @@ struct SopServer::Impl {
       std::vector<SessionResult> results;
       std::string checkpoint_blob;
       const uint64_t batch_size = op.msg.points.size();
+      uint64_t halo_size = 0;  // replicas in the batch (owner flag 0)
+      for (const uint8_t o : op.msg.owner) halo_size += (o == 0) ? 1 : 0;
       std::vector<Point> repl_points;
       if (replicate) repl_points = op.msg.points;  // before the move below
       std::vector<EmissionRecord> repl_records;
@@ -1043,6 +1084,11 @@ struct SopServer::Impl {
           stats.ingest_batches.fetch_add(1, std::memory_order_relaxed);
           stats.ingest_points.fetch_add(batch_size,
                                         std::memory_order_relaxed);
+          if (halo_size > 0) {
+            stats.halo_points.fetch_add(halo_size,
+                                        std::memory_order_relaxed);
+            SOP_COUNTER_ADD("net/server/halo_points", halo_size);
+          }
           // Retain every emission for reconnect resume (and replication),
           // keyed by the query's parameters — connection-scoped ids die
           // with their connection.
@@ -1361,6 +1407,7 @@ ServerStats SopServer::stats() const {
   s.bytes_out = a.bytes_out.load(std::memory_order_relaxed);
   s.ingest_batches = a.ingest_batches.load(std::memory_order_relaxed);
   s.ingest_points = a.ingest_points.load(std::memory_order_relaxed);
+  s.halo_points = a.halo_points.load(std::memory_order_relaxed);
   s.emissions = a.emissions.load(std::memory_order_relaxed);
   s.shed_emissions = a.shed_emissions.load(std::memory_order_relaxed);
   s.subscribes = a.subscribes.load(std::memory_order_relaxed);
@@ -1383,6 +1430,12 @@ ServerStats SopServer::stats() const {
   s.resume_gaps = a.resume_gaps.load(std::memory_order_relaxed);
   s.resumed = a.resumed.load(std::memory_order_relaxed);
   s.role = impl_->RoleNow();
+  {
+    std::lock_guard<std::mutex> lock(impl_->shard_mu);
+    s.sharded = impl_->shard_set;
+    s.shard_index = impl_->shard.shard_index;
+    s.num_shards = impl_->shard.num_shards;
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->session_mu);
     if (impl_->session != nullptr) {

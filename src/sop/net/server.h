@@ -189,6 +189,7 @@ struct ServerStats {
   uint64_t bytes_out = 0;
   uint64_t ingest_batches = 0;     // batches advanced through the session
   uint64_t ingest_points = 0;
+  uint64_t halo_points = 0;        // of those, halo replicas (owner flag 0)
   uint64_t emissions = 0;          // emission frames enqueued to clients
   uint64_t shed_emissions = 0;     // emission frames dropped under overload
   uint64_t subscribes = 0;
@@ -215,6 +216,10 @@ struct ServerStats {
   bool resumed = false;            // Start() restored a session checkpoint
   ServerRole role = ServerRole::kPrimary;  // current role (promotion moves it)
   int64_t last_boundary = kNoResume;       // stream position
+  // --- scale-out plane (DESIGN.md Sec. 17) --------------------------------
+  bool sharded = false;            // a router declared a shard config
+  uint32_t shard_index = 0;        // valid when sharded
+  uint32_t num_shards = 0;         // valid when sharded
 };
 
 /// The serving endpoint. Start() binds and serves until Stop() (or

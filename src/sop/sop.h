@@ -17,6 +17,9 @@
 //                          TCP — subscribe queries, push batches, receive
 //                          per-subscription emissions (net/server.h,
 //                          net/client.h)
+//   * Scaling out          SopRouter: spatial sharding over N workers with
+//                          halo replication and merge-exact emissions
+//                          (cluster/partition.h, cluster/router.h)
 //   * Measuring            RunMetrics (detector/metrics.h) and the
 //                          observability registry, instrumentation macros
 //                          and exporters (obs/)
@@ -36,6 +39,8 @@
 #ifndef SOP_SOP_H_
 #define SOP_SOP_H_
 
+#include "sop/cluster/partition.h"
+#include "sop/cluster/router.h"
 #include "sop/common/column_store.h"
 #include "sop/common/dist_kernel.h"
 #include "sop/common/distance.h"

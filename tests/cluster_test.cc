@@ -1,0 +1,479 @@
+// End-to-end tests of the scale-out plane (cluster/router.h):
+//
+//   * routed equivalence — a router fronting >= 2 workers over loopback
+//     must emit exactly what a direct ExecutionEngine run emits, after
+//     canonical (boundary, query) ordering, for every registered detector
+//     over both window types (the merge-exactness contract),
+//   * the same equivalence under seeded transient kNetRead/kNetWrite
+//     faults on every socket in the fabric,
+//   * the same equivalence across a worker kill + restart on the same
+//     port (checkpoint_every_batches=1), ridden out by the worker
+//     client's recovery — no lost or duplicated emissions,
+//   * halo admission: a post-freeze subscribe with r > halo is refused
+//     with a diagnostic, not silently degraded,
+//   * stale boundaries and bad queries are refused at the router.
+//
+// All assertions read RouterStats/ServerStats (always-on atomics), never
+// obs counters, so the suite passes identically under -DSOP_NO_OBS.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sop/cluster/partition.h"
+#include "sop/cluster/router.h"
+#include "sop/common/fault.h"
+#include "sop/common/random.h"
+#include "sop/detector/driver.h"
+#include "sop/detector/factory.h"
+#include "sop/net/client.h"
+#include "sop/net/server.h"
+#include "sop/stream/window.h"
+#include "test_util.h"
+
+namespace sop {
+namespace cluster {
+namespace {
+
+using net::IngestAckMsg;
+using net::EmissionMsg;
+using net::ServerOptions;
+using net::SopClient;
+using net::SopServer;
+
+/// Same stream shape as net_test.cc: a unit-variance cluster with ~5%
+/// spikes at +-8, so a 2-worker split at 0.0 exercises both regions and
+/// the halo band around the cut.
+std::vector<Point> GenPoints(size_t n, bool time_windows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (time_windows) {
+      t += 1 + static_cast<Timestamp>(rng.NextBelow(2));
+      if (i % 97 == 96) t += 35;
+    } else {
+      t = static_cast<Timestamp>(i);
+    }
+    double v = rng.Normal(0.0, 1.0);
+    if (rng.Bernoulli(0.05)) v += rng.Bernoulli(0.5) ? 8.0 : -8.0;
+    points.emplace_back(static_cast<Seq>(i), t, std::vector<double>{v});
+  }
+  return points;
+}
+
+struct Batch {
+  std::vector<Point> points;
+  int64_t boundary = 0;
+};
+
+std::vector<Batch> SliceCount(const std::vector<Point>& points,
+                              int64_t span) {
+  std::vector<Batch> batches;
+  int64_t shipped = 0;
+  const size_t step = static_cast<size_t>(span);
+  for (size_t start = 0; start + step <= points.size(); start += step) {
+    Batch b;
+    b.points.assign(points.begin() + static_cast<int64_t>(start),
+                    points.begin() + static_cast<int64_t>(start + step));
+    shipped += span;
+    b.boundary = shipped;
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+std::vector<Batch> SliceTime(const std::vector<Point>& points, int64_t span) {
+  std::vector<Batch> batches;
+  int64_t boundary = FirstBoundaryAtOrAfter(points.front().time + 1, span);
+  std::vector<Point> cur;
+  for (const Point& p : points) {
+    while (p.time >= boundary) {
+      batches.push_back({std::move(cur), boundary});
+      cur = {};
+      boundary += span;
+    }
+    cur.push_back(p);
+  }
+  if (!cur.empty()) batches.push_back({std::move(cur), boundary});
+  return batches;
+}
+
+std::vector<Batch> Slice(const Workload& workload,
+                         const std::vector<Point>& points) {
+  return workload.window_type() == WindowType::kCount
+             ? SliceCount(points, workload.SlideGcd())
+             : SliceTime(points, workload.SlideGcd());
+}
+
+/// One worker fleet + router over loopback. Workers always serve TIME
+/// windows (the router translates count deployments) with history deep
+/// enough for the tests' largest window.
+struct TestCluster {
+  std::vector<std::unique_ptr<SopServer>> workers;
+  std::unique_ptr<SopRouter> router;
+
+  ~TestCluster() {
+    if (router != nullptr) router->Stop();
+    for (std::unique_ptr<SopServer>& w : workers) {
+      if (w != nullptr) w->Stop();
+    }
+  }
+};
+
+ServerOptions WorkerOptions(const std::string& detector) {
+  ServerOptions options;
+  options.window_type = WindowType::kTime;  // always; see router.h
+  options.detector = detector;
+  options.history_window = 1 << 14;
+  return options;
+}
+
+bool StartCluster(TestCluster* tc, int num_workers,
+                  const std::string& detector, WindowType window_type,
+                  std::string* error,
+                  const std::string& checkpoint_prefix = "") {
+  RouterOptions ro;
+  ro.window_type = window_type;
+  ro.detector = detector;
+  for (int i = 0; i < num_workers; ++i) {
+    ServerOptions wo = WorkerOptions(detector);
+    if (!checkpoint_prefix.empty()) {
+      wo.checkpoint_path =
+          checkpoint_prefix + std::to_string(i) + ".checkpoint";
+      wo.checkpoint_every_batches = 1;
+    }
+    auto worker = std::make_unique<SopServer>(wo);
+    if (!worker->Start(error)) return false;
+    ro.workers.push_back({"127.0.0.1", worker->port()});
+    tc->workers.push_back(std::move(worker));
+  }
+  // Interior cuts around the data's dense band: the cluster sits at 0, the
+  // spikes at +-8, so every region and the halo band see traffic.
+  ro.partition = PartitionSpec::Uniform(-6.0, 6.0, num_workers);
+  tc->router = std::make_unique<SopRouter>(ro);
+  return tc->router->Start(error);
+}
+
+/// net_test.cc's RunLoopback against the router's front port: the router
+/// speaks the same wire protocol, so the client code is identical.
+std::vector<QueryResult> RunRouted(int port,
+                                   const std::vector<OutlierQuery>& queries,
+                                   const std::vector<Batch>& batches,
+                                   const std::string& label) {
+  std::vector<QueryResult> results;
+  SopClient client;
+  std::string error;
+  EXPECT_TRUE(client.Connect("127.0.0.1", port, &error)) << label << ": "
+                                                         << error;
+  if (!client.connected()) return results;
+
+  std::map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int64_t id = client.Subscribe(queries[i], &error);
+    EXPECT_GT(id, 0) << label << ": " << error;
+    if (id <= 0) return results;
+    index_of[id] = i;
+  }
+  for (const Batch& b : batches) {
+    IngestAckMsg ack;
+    EXPECT_TRUE(client.Ingest(b.boundary, b.points, &ack, &error))
+        << label << ": " << error;
+    EXPECT_EQ(ack.accepted, b.points.size()) << label;
+    for (const EmissionMsg& e : client.TakeEmissions()) {
+      EXPECT_TRUE(index_of.count(e.query_id) != 0)
+          << label << ": emission for unknown query id " << e.query_id;
+      EXPECT_FALSE(e.degraded) << label << " @" << e.boundary;
+      QueryResult r;
+      r.query_index = index_of[e.query_id];
+      r.boundary = e.boundary;
+      r.outliers = e.outliers;
+      results.push_back(std::move(r));
+    }
+  }
+  for (const auto& entry : index_of) {
+    EXPECT_TRUE(client.Unsubscribe(entry.first, &error))
+        << label << ": " << error;
+  }
+  return results;
+}
+
+std::vector<OutlierQuery> TestQueries(bool time_windows) {
+  if (time_windows) {
+    return {OutlierQuery(1.5, 4, 80, 20), OutlierQuery(2.0, 3, 120, 30)};
+  }
+  return {OutlierQuery(1.5, 4, 100, 50), OutlierQuery(2.0, 3, 150, 50)};
+}
+
+// --- routed equivalence ---------------------------------------------------
+
+// The merge-exactness contract: a routed run over >= 2 workers emits
+// exactly what a direct single-node engine run emits, for every detector
+// the factory knows, over both window types.
+TEST(ClusterTest, RoutedMatchesEngineEveryDetector) {
+  for (const bool time_windows : {false, true}) {
+    const WindowType wt =
+        time_windows ? WindowType::kTime : WindowType::kCount;
+    Workload workload(wt);
+    const std::vector<OutlierQuery> queries = TestQueries(time_windows);
+    for (const OutlierQuery& q : queries) workload.AddQuery(q);
+    ASSERT_EQ(workload.Validate(), "");
+    const std::vector<Point> points =
+        GenPoints(time_windows ? 240 : 320, time_windows,
+                  /*seed=*/7 + (time_windows ? 1 : 0));
+    const std::vector<Batch> batches = Slice(workload, points);
+    ASSERT_GT(batches.size(), 3u);
+
+    for (const std::string& name : KnownDetectorNames()) {
+      const std::string label =
+          name + (time_windows ? "/time" : "/count") + " routed";
+      std::unique_ptr<OutlierDetector> detector =
+          CreateDetector(name, workload);
+      const std::vector<QueryResult> expected =
+          CollectResults(workload, points, detector.get());
+
+      TestCluster tc;
+      std::string error;
+      ASSERT_TRUE(StartCluster(&tc, 2, name, wt, &error))
+          << label << ": " << error;
+      const std::vector<QueryResult> actual =
+          RunRouted(tc.router->port(), queries, batches, label);
+      tc.router->Stop();
+      testing::ExpectSameResults(expected, actual, label);
+
+      size_t sliced = 0;  // SliceCount drops the tail that fills no slide
+      for (const Batch& b : batches) sliced += b.points.size();
+      const RouterStats stats = tc.router->stats();
+      EXPECT_EQ(stats.ingest_batches, batches.size()) << label;
+      EXPECT_EQ(stats.ingest_points, sliced) << label;
+      // The halo must actually be exercised: points near the cut are
+      // replicated, and some replicas' verdicts get dropped in the merge.
+      EXPECT_GT(stats.routed_points, stats.ingest_points) << label;
+      EXPECT_GT(stats.halo_points, 0u) << label;
+      EXPECT_EQ(stats.worker_failures, 0u) << label;
+      EXPECT_FALSE(stats.degraded) << label;
+      EXPECT_EQ(stats.protocol_errors, 0u) << label;
+      EXPECT_GE(stats.halo, 2.0) << label;  // r_max of the query set
+      // Workers saw the shard-config handshake and halo replicas.
+      uint64_t worker_halo = 0;
+      for (size_t w = 0; w < tc.workers.size(); ++w) {
+        const net::ServerStats ws = tc.workers[w]->stats();
+        EXPECT_TRUE(ws.sharded) << label << " worker " << w;
+        EXPECT_EQ(ws.num_shards, 2u) << label << " worker " << w;
+        worker_halo += ws.halo_points;
+      }
+      EXPECT_EQ(worker_halo, stats.halo_points) << label;
+    }
+  }
+}
+
+// Same contract with every socket in the fabric (client->router,
+// router->workers) under seeded transient read/write faults: the retry
+// discipline rides them out and the emission stream is unchanged.
+TEST(ClusterTest, RoutedMatchesEngineUnderSocketFaults) {
+  for (const bool time_windows : {false, true}) {
+    const WindowType wt =
+        time_windows ? WindowType::kTime : WindowType::kCount;
+    Workload workload(wt);
+    const std::vector<OutlierQuery> queries = TestQueries(time_windows);
+    for (const OutlierQuery& q : queries) workload.AddQuery(q);
+    ASSERT_EQ(workload.Validate(), "");
+    const std::vector<Point> points =
+        GenPoints(200, time_windows, /*seed=*/41 + (time_windows ? 1 : 0));
+    const std::vector<Batch> batches = Slice(workload, points);
+
+    for (const std::string& name : KnownDetectorNames()) {
+      const std::string label =
+          name + (time_windows ? "/time" : "/count") + " routed faults";
+      std::unique_ptr<OutlierDetector> detector =
+          CreateDetector(name, workload);
+      const std::vector<QueryResult> expected =
+          CollectResults(workload, points, detector.get());
+
+      FaultInjector injector(/*seed=*/1234);
+      injector.SetRate(FaultSite::kNetRead, 0.05);
+      injector.SetRate(FaultSite::kNetWrite, 0.05);
+      injector.SetMaxFailures(FaultSite::kNetRead, 20);
+      injector.SetMaxFailures(FaultSite::kNetWrite, 20);
+      ScopedFaultInjection armed(&injector);
+
+      TestCluster tc;
+      std::string error;
+      ASSERT_TRUE(StartCluster(&tc, 2, name, wt, &error))
+          << label << ": " << error;
+      const std::vector<QueryResult> actual =
+          RunRouted(tc.router->port(), queries, batches, label);
+      tc.router->Stop();
+      testing::ExpectSameResults(expected, actual, label);
+      EXPECT_GT(injector.injected(FaultSite::kNetRead) +
+                    injector.injected(FaultSite::kNetWrite),
+                0)
+          << label;
+      EXPECT_FALSE(tc.router->stats().degraded) << label;
+    }
+  }
+}
+
+// A worker killed mid-stream and restarted on the same port (with
+// checkpoint_every_batches=1) is ridden out by the router's worker-client
+// recovery: the routed emission stream still matches the single-node run
+// exactly — no lost and no duplicated emissions — and the stream is never
+// marked degraded.
+TEST(ClusterTest, WorkerKillAndRestartKeepsMergeExact) {
+  const Workload workload = [] {
+    Workload w(WindowType::kCount);
+    w.AddQuery(OutlierQuery(1.5, 4, 100, 50));
+    w.AddQuery(OutlierQuery(2.0, 3, 150, 50));
+    return w;
+  }();
+  ASSERT_EQ(workload.Validate(), "");
+  const std::vector<OutlierQuery> queries = TestQueries(false);
+  const std::vector<Point> points = GenPoints(400, false, /*seed=*/55);
+  const std::vector<Batch> batches = SliceCount(points, 50);
+  ASSERT_EQ(batches.size(), 8u);
+  std::unique_ptr<OutlierDetector> detector =
+      CreateDetector("sop", workload);
+  const std::vector<QueryResult> expected =
+      CollectResults(workload, points, detector.get());
+
+  const std::string prefix = ::testing::TempDir() + "sop_cluster_kill_worker";
+  for (int i = 0; i < 2; ++i) {  // stale checkpoints would resume old state
+    std::remove((prefix + std::to_string(i) + ".checkpoint").c_str());
+  }
+  std::string error;
+  TestCluster tc;
+  ASSERT_TRUE(
+      StartCluster(&tc, 2, "sop", WindowType::kCount, &error, prefix))
+      << error;
+
+  SopClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", tc.router->port(), &error))
+      << error;
+  std::map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int64_t id = client.Subscribe(queries[i], &error);
+    ASSERT_GT(id, 0) << error;
+    index_of[id] = i;
+  }
+
+  const int victim = 1;
+  const int victim_port = tc.workers[victim]->port();
+  std::vector<QueryResult> actual;
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    if (bi == batches.size() / 2) {
+      // Crash the worker between batches, then bring it back on the same
+      // port from its per-batch checkpoint. The router's next fan-out
+      // triggers its client's bounded recovery against the restarted
+      // worker: re-handshake, shard-config re-declare, re-subscribe from
+      // the high-water mark, exactly-once resume.
+      tc.workers[victim]->Kill();
+      ServerOptions wo = WorkerOptions("sop");
+      wo.port = victim_port;
+      wo.checkpoint_path = prefix + std::to_string(victim) + ".checkpoint";
+      wo.checkpoint_every_batches = 1;
+      auto restarted = std::make_unique<SopServer>(wo);
+      ASSERT_TRUE(restarted->Start(&error)) << "restart: " << error;
+      ASSERT_TRUE(restarted->stats().resumed) << "no checkpoint restored";
+      tc.workers[victim] = std::move(restarted);
+    }
+    IngestAckMsg ack;
+    ASSERT_TRUE(
+        client.Ingest(batches[bi].boundary, batches[bi].points, &ack, &error))
+        << "batch " << bi << ": " << error;
+    EXPECT_EQ(ack.accepted, batches[bi].points.size()) << "batch " << bi;
+    for (const EmissionMsg& e : client.TakeEmissions()) {
+      ASSERT_TRUE(index_of.count(e.query_id) != 0);
+      EXPECT_FALSE(e.degraded) << "@" << e.boundary;
+      QueryResult r;
+      r.query_index = index_of[e.query_id];
+      r.boundary = e.boundary;
+      r.outliers = e.outliers;
+      actual.push_back(std::move(r));
+    }
+  }
+  testing::ExpectSameResults(expected, actual, "kill/restart");
+
+  const RouterStats stats = tc.router->stats();
+  EXPECT_GE(stats.worker_reconnects, 1u);
+  EXPECT_EQ(stats.worker_failures, 0u);
+  EXPECT_FALSE(stats.degraded);
+}
+
+// --- admission and refusal paths -----------------------------------------
+
+// Once the first batch freezes the halo, a subscribe whose radius exceeds
+// it is refused with a diagnostic: serving it would silently miss
+// neighbors across region edges.
+TEST(ClusterTest, SubscribeBeyondFrozenHaloIsRefused) {
+  TestCluster tc;
+  std::string error;
+  ASSERT_TRUE(StartCluster(&tc, 2, "sop", WindowType::kCount, &error))
+      << error;
+
+  SopClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", tc.router->port(), &error))
+      << error;
+  const int64_t id =
+      client.Subscribe(OutlierQuery(1.5, 4, 100, 50), &error);
+  ASSERT_GT(id, 0) << error;
+
+  // First batch freezes the halo at the live basis r_max.
+  const std::vector<Point> points = GenPoints(50, false, /*seed=*/3);
+  IngestAckMsg ack;
+  ASSERT_TRUE(client.Ingest(50, points, &ack, &error)) << error;
+
+  const int64_t refused =
+      client.Subscribe(OutlierQuery(100.0, 4, 100, 50), &error);
+  EXPECT_EQ(refused, 0);
+  EXPECT_NE(error.find("halo"), std::string::npos) << error;
+
+  // A radius inside the frozen halo is still admissible.
+  const int64_t ok = client.Subscribe(OutlierQuery(1.0, 2, 100, 50), &error);
+  EXPECT_GT(ok, 0) << error;
+
+  const RouterStats stats = tc.router->stats();
+  EXPECT_EQ(stats.refused_subscribes, 1u);
+  EXPECT_EQ(stats.subscribes, 2u);
+}
+
+// Router-side refusals mirror the single server: stale boundaries are
+// bounced without advancing the stream, and malformed queries never reach
+// a worker.
+TEST(ClusterTest, StaleBoundaryAndBadQueryAreRefused) {
+  TestCluster tc;
+  std::string error;
+  ASSERT_TRUE(StartCluster(&tc, 2, "sop", WindowType::kCount, &error))
+      << error;
+
+  SopClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", tc.router->port(), &error))
+      << error;
+  const int64_t bad = client.Subscribe(OutlierQuery(-1.0, 0, 0, 0), &error);
+  EXPECT_EQ(bad, 0);
+
+  const int64_t id = client.Subscribe(OutlierQuery(1.5, 4, 100, 50), &error);
+  ASSERT_GT(id, 0) << error;
+  const std::vector<Point> points = GenPoints(100, false, /*seed=*/9);
+  std::vector<Point> first(points.begin(), points.begin() + 50);
+  IngestAckMsg ack;
+  ASSERT_TRUE(client.Ingest(50, first, &ack, &error)) << error;
+  EXPECT_EQ(ack.accepted, 50u);
+
+  // Same boundary again: refused, accepted == 0, diagnostic pushed.
+  ASSERT_TRUE(client.Ingest(50, first, &ack, &error)) << error;
+  EXPECT_EQ(ack.accepted, 0u);
+  EXPECT_FALSE(client.TakeErrors().empty());
+
+  const RouterStats stats = tc.router->stats();
+  EXPECT_EQ(stats.last_boundary, 50);
+  EXPECT_GE(stats.protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace sop

@@ -324,6 +324,80 @@ TEST(ProtocolTest, ReplAckRoundTrip) {
   EXPECT_TRUE(out.need_snapshot);
 }
 
+TEST(ProtocolTest, IngestOwnerFlagsRoundTrip) {
+  IngestMsg msg;
+  msg.boundary = 9;
+  msg.points.push_back(MakePoint(1, {10.0}));
+  msg.points.push_back(MakePoint(2, {20.0}));
+  msg.points.push_back(MakePoint(3, {30.0}));
+  msg.owner = {1, 0, 1};
+  IngestMsg out;
+  std::string error;
+  std::string_view payload;
+  const std::string frame = EncodeIngest(msg);
+  ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+  ASSERT_TRUE(DecodeIngest(payload, &out, &error)) << error;
+  EXPECT_EQ(out.owner, (std::vector<uint8_t>{1, 0, 1}));
+
+  // Empty owner flags (the single-node wire default) stay empty.
+  msg.owner.clear();
+  const std::string bare = EncodeIngest(msg);
+  ASSERT_TRUE(UnwrapFrame(bare, &payload, &error)) << error;
+  ASSERT_TRUE(DecodeIngest(payload, &out, &error)) << error;
+  EXPECT_TRUE(out.owner.empty());
+
+  // A flag count that matches neither 0 nor the point count is malformed.
+  msg.owner = {1, 0};
+  const std::string bad = EncodeIngest(msg);
+  ASSERT_TRUE(UnwrapFrame(bad, &payload, &error)) << error;
+  EXPECT_FALSE(DecodeIngest(payload, &out, &error));
+  EXPECT_NE(error.find("owner flag count"), std::string::npos);
+}
+
+TEST(ProtocolTest, ShardConfigRoundTrip) {
+  ShardConfigMsg msg;
+  msg.shard_index = 2;
+  msg.num_shards = 4;
+  msg.lo = -125.5;
+  msg.hi = 4000.25;
+  msg.halo = 17.75;
+  ShardConfigMsg out;
+  std::string error;
+  std::string_view payload;
+  const std::string frame = EncodeShardConfig(msg);
+  MsgType type;
+  ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+  ASSERT_TRUE(PeekType(payload, &type, &error)) << error;
+  EXPECT_EQ(type, MsgType::kShardConfig);
+  ASSERT_TRUE(DecodeShardConfig(payload, &out, &error)) << error;
+  EXPECT_EQ(out.shard_index, 2u);
+  EXPECT_EQ(out.num_shards, 4u);
+  EXPECT_EQ(out.lo, -125.5);
+  EXPECT_EQ(out.hi, 4000.25);
+  EXPECT_EQ(out.halo, 17.75);
+
+  // shard_index must address one of num_shards shards.
+  msg.shard_index = 4;
+  const std::string bad = EncodeShardConfig(msg);
+  ASSERT_TRUE(UnwrapFrame(bad, &payload, &error)) << error;
+  EXPECT_FALSE(DecodeShardConfig(payload, &out, &error));
+  EXPECT_NE(error.find("shard index"), std::string::npos);
+}
+
+TEST(ProtocolTest, ShardConfigAckRoundTrip) {
+  ShardConfigAckMsg msg;
+  msg.ok = false;
+  msg.error = "conflicting shard config already declared";
+  ShardConfigAckMsg out;
+  std::string error;
+  std::string_view payload;
+  const std::string frame = EncodeShardConfigAck(msg);
+  ASSERT_TRUE(UnwrapFrame(frame, &payload, &error)) << error;
+  ASSERT_TRUE(DecodeShardConfigAck(payload, &out, &error)) << error;
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "conflicting shard config already declared");
+}
+
 TEST(ProtocolTest, PeekTypeRejectsUnknownWord) {
   BinaryWriter w;
   w.WriteU32(999);

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # check.sh: build the full tree under AddressSanitizer+UBSan and run the
-# test suite, then run the concurrency-heavy suites (fault injection,
-# crash recovery, engine pipelining, the serving plane) under
-# ThreadSanitizer, then build and run everything again with the
-# observability layer compiled out (-DSOP_NO_OBS) to keep the no-op macro
-# expansions honest. Catches the memory bugs the release build hides (the
+# test suite, then again under standalone UBSan with
+# -fno-sanitize-recover (asan's combined pass recovers and keeps going;
+# this one traps, so any UB is a hard failure), then run the
+# concurrency-heavy suites (fault injection, crash recovery, engine
+# pipelining, the serving and scale-out planes) under ThreadSanitizer,
+# then build and run everything again with the observability layer
+# compiled out (-DSOP_NO_OBS) to keep the no-op macro expansions honest. Catches the memory bugs the release build hides (the
 # thread pool and the grid scratch buffers in particular) and the
 # ingest/worker/connection races the overload queue and the server's
 # per-connection threads could hide.
@@ -39,9 +41,13 @@ configure asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan -j"$(nproc)" "$@"
 
+configure ubsan
+cmake --build --preset ubsan -j"$(nproc)"
+ctest --preset ubsan -j"$(nproc)" "$@"
+
 configure tsan
 cmake --build --preset tsan -j"$(nproc)"
-ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test|ha_test|churn_fuzz_test|kernel_test' "$@"
+ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test|ha_test|churn_fuzz_test|kernel_test|partition_test|cluster_test' "$@"
 
 configure noobs
 cmake --build --preset noobs -j"$(nproc)"

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   sop_datagen --kind synthetic|stt --n N --out points.csv [--seed S]
-//               [--dims D] [--outlier-rate F]
+//               [--dims D] [--outlier-rate F] [--hotspot FRAC]
 //   sop_datagen --kind synthetic|stt --n N --out - [--rate P] [--batch B]
 //   sop_datagen --kind synthetic|stt --n N --connect HOST:PORT
 //               [--rate P] [--batch B]
@@ -152,6 +152,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   int dims = 2;
   double outlier_rate = 0.03;
+  double hotspot_frac = 0.0;
   double rate = 0.0;
   size_t batch = 128;
 
@@ -173,6 +174,10 @@ int main(int argc, char** argv) {
   flags.Int("--dims", &dims, "D", "synthetic point dimensionality", 1);
   flags.F64("--outlier-rate", &outlier_rate, "F",
             "synthetic/STT outlier fraction", 0.0);
+  flags.F64("--hotspot", &hotspot_frac, "FRAC",
+            "synthetic: skew this fraction of inliers into one cluster "
+            "(spatially imbalanced streams for scale-out experiments)",
+            0.0);
   flags.Str("--case", &wcase_name, "A..G",
             "workload parameter case (paper Sec. 7)");
   flags.Size("--queries", &queries, "Q", "workload query count", 1);
@@ -182,6 +187,10 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv, &exit_code)) return exit_code;
   if (out_path.empty() && connect_spec.empty()) {
     flags.UsageError("--out or --connect is required");
+    return 2;
+  }
+  if (hotspot_frac < 0.0 || hotspot_frac > 1.0) {
+    flags.UsageError("--hotspot must be in [0, 1]");
     return 2;
   }
 
@@ -197,6 +206,7 @@ int main(int argc, char** argv) {
       options.seed = seed;
       options.dimensions = dims;
       options.outlier_rate = outlier_rate;
+      options.hotspot_frac = hotspot_frac;
       points = gen::GenerateSynthetic(n, options);
     } else {
       gen::SttOptions options;

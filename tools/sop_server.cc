@@ -10,7 +10,8 @@
 //              [--exact-basis] [--headroom-r R[,R...]] [--headroom-k N]
 //              [--headroom-win N] [--idle-timeout MS]
 //              [--replicate-to HOST:PORT | --standby [--promote-on-loss]]
-//              [--metrics] [--kernel scalar|avx2|auto]
+//              [--metrics] [--metrics-out FILE]
+//              [--kernel scalar|avx2|auto]
 //              [--fault-rate SITE=RATE[,...]] [--fault-seed S]
 //              [--fault-max N]
 //
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
 
   net::ServerOptions options;
   bool want_metrics = false;
+  std::string metrics_out;
   std::vector<std::string> fault_specs;
   uint64_t fault_seed = 1;
   int64_t fault_max = -1;
@@ -186,6 +188,9 @@ int main(int argc, char** argv) {
             "reserve extra window span", 0);
   flags.Bool("--metrics", &want_metrics,
              "enable observability; dump the counter registry on shutdown");
+  flags.Str("--metrics-out", &metrics_out, "PATH",
+            "enable observability; write the registry snapshot to PATH as "
+            "JSON on shutdown");
   flags.StrList("--fault-rate", &fault_specs, "SITE=RATE[,...]",
                 "arm the deterministic fault injector (common/fault.h)");
   flags.U64("--fault-seed", &fault_seed, "S", "fault schedule seed");
@@ -215,7 +220,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(fault_seed));
     FaultInjector::Arm(&injector);
   }
-  if (want_metrics) {
+  if (want_metrics || !metrics_out.empty()) {
     obs::SetEnabled(true);
     obs::MetricsRegistry::Global().Reset();
   }
@@ -284,10 +289,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.resume_replayed),
                  static_cast<unsigned long long>(stats.resume_gaps));
   }
-  if (want_metrics) {
+  if (want_metrics || !metrics_out.empty()) {
     const obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
-    std::fprintf(stderr, "%s\n", obs::ToJson(snap).c_str());
+    const std::string json = obs::ToJson(snap);
+    if (want_metrics) std::fprintf(stderr, "%s\n", json.c_str());
+    if (!metrics_out.empty()) {
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "--metrics-out: cannot write %s\n",
+                     metrics_out.c_str());
+        exit_code = 1;
+      } else {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+      }
+    }
   }
   if (inject) FaultInjector::Disarm();
-  return 0;
+  return exit_code;
 }
