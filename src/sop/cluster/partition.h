@@ -75,7 +75,8 @@ class Partitioner {
 
   /// Every shard that must see `v`: the owner plus every shard whose range
   /// lies within `halo` of it — a contiguous, ascending shard interval.
-  /// Appends one ShardAssignment per shard to `*out` (not cleared).
+  /// Clears `*out`, then writes one ShardAssignment per shard (callers
+  /// reuse one scratch vector across points).
   void AssignmentsOf(double v, std::vector<ShardAssignment>* out) const;
 
   /// Owned range of `shard` as [lo, hi); the outer bounds are +/-infinity.

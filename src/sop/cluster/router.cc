@@ -136,15 +136,35 @@ struct SopRouter::Impl {
   struct SeqMap {
     std::deque<MapEntry> entries;
     int64_t base = 0;  // local seq of entries.front()
+    // Batches this worker may or may not have applied — its client gave up
+    // without an ack, so nothing says whether the worker numbered their
+    // points. Each gap records the map range the batch's entries occupy
+    // (in the map's own hypothetical local coordinates). While any gap is
+    // open the map is desynced: translations through it cannot be trusted.
+    // The next acked batch carries the worker's authoritative arrival
+    // counter (IngestAckMsg::next_seq), which resolves every open gap —
+    // see RealignSeqMap.
+    struct Gap {
+      int64_t start = 0;  // hypothetical local seq of the gap's first entry
+      int64_t count = 0;
+    };
+    std::vector<Gap> gaps;
+    bool desynced() const { return !gaps.empty(); }
   };
   std::vector<SeqMap> seq_maps;
 
   // --- completion plane (workers -> route loop) --------------------------
   std::mutex done_mu;
   std::condition_variable done_cv;
+  // One worker's outcome for one fanned-out batch.
+  struct WorkerBatchResult {
+    bool ok = false;           // transport-level success (an ack arrived)
+    uint64_t accepted = 0;     // points the worker applied (ack.accepted)
+    uint64_t next_seq = 0;     // worker arrival counter after the batch
+  };
   struct PendingBatch {
     size_t remaining = 0;
-    bool failed = false;  // a worker never got the batch applied
+    std::vector<WorkerBatchResult> results;  // by worker index
     // (worker index, emission with GLOBAL query id but LOCAL seqs).
     std::vector<std::pair<int, net::EmissionMsg>> emissions;
   };
@@ -292,6 +312,14 @@ struct SopRouter::Impl {
           SendError(conn, error);
           return false;
         }
+        if (hello.protocol_version != net::kProtocolVersion) {
+          // Same refusal as the server: an old peer would otherwise send
+          // frames whose decode failures make for baffling diagnostics.
+          stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          SendError(conn, "protocol version mismatch: router speaks v" +
+                              std::to_string(net::kProtocolVersion));
+          return false;
+        }
         net::HelloAckMsg ack;
         ack.protocol_version = net::kProtocolVersion;
         ack.window_type = static_cast<uint32_t>(options.window_type);
@@ -299,6 +327,8 @@ struct SopRouter::Impl {
         ack.role = static_cast<uint32_t>(net::ServerRole::kPrimary);
         ack.detector = options.detector;
         ack.last_boundary = last_boundary.load(std::memory_order_relaxed);
+        // The router's arrival counter: one global seq per ingested point.
+        ack.next_seq = stats.ingest_points.load(std::memory_order_relaxed);
         EnqueueFrame(conn, EncodeHelloAck(ack));
         return true;
       }
@@ -465,16 +495,15 @@ struct SopRouter::Impl {
 
   void PushJob(Worker* w, Job job) {
     std::unique_lock<std::mutex> lock(w->mu);
+    // During shutdown the queue bound is waived instead of dropping the
+    // job: the workers keep running until the route loop has drained
+    // (Stop() joins the loop before ending them), so every pushed job
+    // still completes — a dropped kBatch/kSubscribe would strand its
+    // pending/ticket join and deadlock the drain.
     w->cv_pop.wait(lock, [&] {
       return stopping.load(std::memory_order_relaxed) ||
              w->jobs.size() < options.max_worker_queue;
     });
-    // Stop jobs always land: Stop() must be able to end the thread even
-    // with a full queue.
-    if (stopping.load(std::memory_order_relaxed) &&
-        job.kind != Job::Kind::kStop) {
-      return;
-    }
     w->jobs.push_back(std::move(job));
     if (w->lag_gauge != nullptr && obs::Enabled()) {
       w->lag_gauge->Set(static_cast<int64_t>(w->jobs.size()));
@@ -576,12 +605,11 @@ struct SopRouter::Impl {
             std::lock_guard<std::mutex> lock(done_mu);
             const auto it = pending.find(job.boundary);
             if (it != pending.end()) {
-              // An empty sub-batch legitimately acks 0 accepted points —
-              // the worker still advances to the boundary. Failure is a
-              // transport error or a short count on a non-empty batch.
-              if (!ok || ack.accepted != job.points.size()) {
-                it->second.failed = true;
-              }
+              WorkerBatchResult& r =
+                  it->second.results[static_cast<size_t>(w->index)];
+              r.ok = ok;
+              r.accepted = ok ? ack.accepted : 0;
+              r.next_seq = ok ? ack.next_seq : 0;
               for (net::EmissionMsg& e : kept) {
                 it->second.emissions.emplace_back(w->index, std::move(e));
               }
@@ -596,6 +624,76 @@ struct SopRouter::Impl {
   }
 
   // --- route loop --------------------------------------------------------
+
+  // Reconciles one worker's sequence map with the outcome of the batch it
+  // was just handed (route loop only; `cnt` entries were appended for the
+  // batch). An acked batch carries the worker's authoritative arrival
+  // counter, which pins the map exactly; a transport failure leaves an
+  // open gap — nothing says whether the worker numbered those points —
+  // and the map stays desynced (untranslatable) until a later ack's
+  // counter resolves every open gap.
+  void RealignSeqMap(SeqMap& sm, size_t cnt, const WorkerBatchResult& r) {
+    if (!r.ok) {
+      if (cnt > 0) {
+        sm.gaps.push_back(SeqMap::Gap{
+            sm.base + static_cast<int64_t>(sm.entries.size()) -
+                static_cast<int64_t>(cnt),
+            static_cast<int64_t>(cnt)});
+      }
+      return;
+    }
+    // A refused batch never numbered its points; drop the tail entries
+    // past whatever prefix the worker accepted.
+    if (r.accepted < cnt) {
+      const size_t drop = cnt - static_cast<size_t>(r.accepted);
+      sm.entries.erase(sm.entries.end() - static_cast<int64_t>(drop),
+                       sm.entries.end());
+    }
+    const int64_t target = static_cast<int64_t>(r.next_seq);
+    int64_t drift =
+        sm.base + static_cast<int64_t>(sm.entries.size()) - target;
+    if (drift != 0 && !sm.gaps.empty()) {
+      // The counter is short by exactly the batches the worker never
+      // applied. If the drift accounts for every open gap, none was
+      // applied: excise their entries (descending, so earlier indices
+      // stay valid) and un-advance base for any gap entries the horizon
+      // prune already popped — those pops assumed the worker had
+      // numbered them.
+      int64_t gap_total = 0;
+      for (const SeqMap::Gap& g : sm.gaps) gap_total += g.count;
+      if (drift == gap_total) {
+        int64_t pruned_total = 0;
+        for (size_t i = sm.gaps.size(); i-- > 0;) {
+          const SeqMap::Gap& g = sm.gaps[i];
+          const int64_t pruned =
+              std::min(std::max<int64_t>(sm.base - g.start, 0), g.count);
+          const int64_t live = g.count - pruned;
+          if (live > 0) {
+            const int64_t idx0 = std::max<int64_t>(g.start - sm.base, 0);
+            sm.entries.erase(sm.entries.begin() + idx0,
+                             sm.entries.begin() + idx0 + live);
+          }
+          pruned_total += pruned;
+        }
+        sm.base -= pruned_total;
+        drift = sm.base + static_cast<int64_t>(sm.entries.size()) - target;
+      }
+    }
+    if (drift != 0) {
+      // Ambiguous history (gaps applied in part, or a worker that lost
+      // its counter): anchor on what this ack proves — the worker
+      // numbered this batch's accepted points at [next_seq - accepted,
+      // next_seq). Everything older is untranslatable; a translation
+      // reaching below base surfaces as degraded, and heals as those
+      // points fall out of the worker's window.
+      const size_t keep =
+          std::min(static_cast<size_t>(r.accepted), sm.entries.size());
+      sm.entries.erase(sm.entries.begin(),
+                       sm.entries.end() - static_cast<int64_t>(keep));
+      sm.base = target - static_cast<int64_t>(keep);
+    }
+    sm.gaps.clear();
+  }
 
   uint64_t FanOut(Job::Kind kind, int64_t query_id,
                   const OutlierQuery& query) {
@@ -719,6 +817,8 @@ struct SopRouter::Impl {
                              " does not advance the stream");
       net::IngestAckMsg ack;
       ack.boundary = boundary;
+      // Refusal: the arrival counter is unchanged (v4 ack contract).
+      ack.next_seq = stats.ingest_points.load(std::memory_order_relaxed);
       EnqueueFrame(op.conn, EncodeIngestAck(ack));
       return;
     }
@@ -782,9 +882,14 @@ struct SopRouter::Impl {
     SOP_COUNTER_ADD("cluster/route/routed_points", copies);
     SOP_COUNTER_ADD("cluster/route/halo_points", halo_copies);
 
+    std::vector<size_t> expected(parts);
+    for (size_t i = 0; i < parts; ++i) expected[i] = routed[i].size();
     {
       std::lock_guard<std::mutex> lock(done_mu);
-      pending[boundary] = PendingBatch{parts, false, {}};
+      PendingBatch pb;
+      pb.remaining = parts;
+      pb.results.assign(parts, WorkerBatchResult{});
+      pending[boundary] = std::move(pb);
     }
     for (size_t i = 0; i < parts; ++i) {
       Job job;
@@ -811,15 +916,28 @@ struct SopRouter::Impl {
         pending.erase(it);
       }
     }
-    if (result.failed) {
+    if (result.results.size() != parts) result.results.resize(parts);
+    bool batch_failed = false;
+    for (size_t i = 0; i < parts; ++i) {
+      const WorkerBatchResult& r = result.results[i];
+      if (!r.ok || r.accepted != expected[i]) batch_failed = true;
+      RealignSeqMap(seq_maps[i], expected[i], r);
+    }
+    bool any_desync = false;
+    for (const SeqMap& sm : seq_maps) any_desync = any_desync || sm.desynced();
+    if (batch_failed) {
       // A shard never applied the batch (worker unreachable past bounded
       // recovery, or out of step). The stream keeps moving — losing one
       // shard's verdicts forever would otherwise stall every query — but
       // every merged emission is marked degraded until it heals.
       stats.worker_failures.fetch_add(1, std::memory_order_relaxed);
-      stats.degraded.store(true, std::memory_order_relaxed);
       SOP_COUNTER_ADD("cluster/merge/worker_failures", 1);
     }
+    // Health flag, not a latch: set while any shard's verdicts are missing
+    // or its sequence map is desynced, cleared again once a batch
+    // completes with every worker realigned (see router.h).
+    stats.degraded.store(batch_failed || any_desync,
+                         std::memory_order_relaxed);
 
     // Merge: group per-worker emissions by (boundary, query) — a worker
     // recovering mid-batch may replay an earlier boundary it never
@@ -837,6 +955,14 @@ struct SopRouter::Impl {
       m.boundary = em.boundary;
       m.degraded = m.degraded || em.degraded;
       SeqMap& sm = seq_maps[static_cast<size_t>(widx)];
+      if (sm.desynced()) {
+        // An open gap means the map's local->global translation cannot be
+        // trusted for this shard — a shifted index would resolve in range
+        // to the WRONG global seq. Say the verdicts are missing rather
+        // than emit corrupted ones.
+        m.degraded = true;
+        continue;
+      }
       for (const Seq local : em.outliers) {
         const int64_t idx = local - sm.base;
         if (idx < 0 || idx >= static_cast<int64_t>(sm.entries.size())) {
@@ -868,7 +994,7 @@ struct SopRouter::Impl {
       std::sort(m.outliers.begin(), m.outliers.end());
       m.outliers.erase(std::unique(m.outliers.begin(), m.outliers.end()),
                        m.outliers.end());
-      if (result.failed) m.degraded = true;
+      if (batch_failed) m.degraded = true;
       std::shared_ptr<Conn> target;
       {
         std::lock_guard<std::mutex> lock(subs_mu);
@@ -892,6 +1018,9 @@ struct SopRouter::Impl {
     ack.boundary = boundary;
     ack.accepted = count;
     ack.emissions = to_ingester;
+    // The router's global arrival counter after this batch (incremented at
+    // route time above) — same v4 contract as the single server's ack.
+    ack.next_seq = stats.ingest_points.load(std::memory_order_relaxed);
     EnqueueFrame(op.conn, EncodeIngestAck(ack));
 
     // Prune the sequence maps past the merge horizon: no future window
@@ -1032,10 +1161,12 @@ void SopRouter::Stop() {
     return;  // already stopped (or stopping)
   }
 
-  // 1. Stop accepting and unblock the accept thread.
+  // 1. Stop accepting: the shutdown unblocks the accept thread, and the
+  // close waits for the join — Close() rewrites the fd while AcceptTcp is
+  // still reading it (same discipline as SopServer::Stop).
   im.listener.ShutdownBoth();
-  im.listener.Close();
   if (im.accept_thread.joinable()) im.accept_thread.join();
+  im.listener.Close();
 
   // 2. Tear down client connections: readers wake on the shutdown, their
   // queued acks are dropped (the peers are gone). Blocking clients have

@@ -51,6 +51,15 @@
 // recovery, the router keeps serving — merged emissions carry
 // degraded=true (a shard's verdicts are missing) until the worker
 // returns. Lossy, and says so, rather than stalling the stream forever.
+// A failed batch also leaves that shard's local->global sequence map in
+// an unknown state (nothing says whether the worker numbered the batch's
+// points), so the map is held desynced — its verdicts stay out of the
+// merge, flagged degraded — until the worker's next ack: every ack
+// carries the worker session's arrival counter (IngestAckMsg::next_seq),
+// against which the router realigns the map exactly, excising the entries
+// of batches the worker provably never applied. RouterStats::degraded
+// mirrors this: set while any shard is failed or desynced, cleared once a
+// batch completes with every worker realigned.
 //
 // Scope: the router keeps no resume ring and no checkpoint of its own;
 // SubscribeMsg::resume_from is ignored (exactly-once across a ROUTER
@@ -143,7 +152,10 @@ struct RouterStats {
   uint64_t protocol_errors = 0;
   uint64_t worker_reconnects = 0;  // recoveries completed across workers
   uint64_t worker_failures = 0;    // batches a worker never acked
-  bool degraded = false;           // any shard loss marked the stream
+  /// True while a shard's verdicts are missing or its sequence map is
+  /// desynced; false again once a batch completes with every worker
+  /// healthy and realigned (current health, not a sticky latch).
+  bool degraded = false;
   int64_t last_boundary = net::kNoResume;
   double halo = 0.0;               // current width (may grow until frozen)
   uint32_t workers = 0;

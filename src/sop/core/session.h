@@ -125,6 +125,12 @@ class SopSession {
   /// enforcing boundary monotonicity where the stream actually left off.
   int64_t last_boundary() const { return last_boundary_; }
 
+  /// The arrival sequence number the next accepted point will get — equal
+  /// to the total number of points ever accepted. Survives SaveState/
+  /// LoadState; the serving layer reports it in acks so a scale-out router
+  /// can keep its local->global sequence maps anchored (cluster/router.h).
+  Seq next_seq() const { return next_seq_; }
+
   /// Replaces the detector factory (default: SopDetector). Takes effect at
   /// the next rebuild; call before the first Advance for a uniform run.
   /// Sessions with a builder hook always realize workload changes as

@@ -29,6 +29,7 @@ bool SopClient::Connect(const std::string& host, int port,
   orphans_.clear();
   collect_orphans_ = false;
   recovered_boundary_ = kNoResume;
+  recovered_next_seq_ = 0;
   shard_config_set_ = false;
   shard_config_ = ShardConfigMsg{};
   if (!ConnectRaw(host, port, error)) return false;
@@ -222,10 +223,12 @@ bool SopClient::Ingest(int64_t boundary, const std::vector<Point>& points,
       // The crash ate the ack, not the batch: the recovered stream is
       // already past this boundary (either the old primary applied and
       // replicated it, or recovery re-ingested it from the retained
-      // tail). Exactly-once holds; report it accepted.
+      // tail). Exactly-once holds; report it accepted, with the recovered
+      // stream's arrival counter standing in for the lost ack's.
       ack->boundary = boundary;
       ack->accepted = points.size();
       ack->emissions = 0;
+      ack->next_seq = recovered_next_seq_;
       return true;
     }
   }
@@ -332,6 +335,7 @@ bool SopClient::Recover(std::string* error) {
     // emissions are regenerated by the (deterministic) session and
     // deduplicated by high-water marks like any other delivery.
     int64_t server_last = server_info_.last_boundary;
+    uint64_t server_next_seq = server_info_.next_seq;
     for (const SentBatch& batch : sent_batches_) {
       if (batch.boundary <= server_last) continue;
       IngestMsg msg;
@@ -347,12 +351,14 @@ bool SopClient::Recover(std::string* error) {
         break;
       }
       if (ack.accepted > 0) server_last = batch.boundary;
+      server_next_seq = ack.next_seq;
     }
     if (!ok) {
       Close();
       continue;
     }
     recovered_boundary_ = server_last;
+    recovered_next_seq_ = server_next_seq;
     ++reconnects_;
     SOP_COUNTER_ADD("net/client/reconnects", 1);
     return true;

@@ -236,6 +236,7 @@ class SopClient {
   std::map<int64_t, int64_t> server_to_public_;
   std::deque<SentBatch> sent_batches_;      // bounded by ingest_replay
   int64_t recovered_boundary_ = kNoResume;  // server position post-recovery
+  uint64_t recovered_next_seq_ = 0;         // arrival counter post-recovery
   uint64_t reconnects_ = 0;
   uint64_t dropped_duplicates_ = 0;
   uint64_t last_replayed_ = 0;

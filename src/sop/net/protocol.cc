@@ -196,6 +196,7 @@ std::string EncodeHelloAck(const HelloAckMsg& msg) {
   w.WriteU32(msg.role);
   w.WriteBytes(msg.detector);
   w.WriteI64(msg.last_boundary);
+  w.WriteU64(msg.next_seq);
   return Finish(&w);
 }
 
@@ -214,6 +215,7 @@ std::string EncodeIngestAck(const IngestAckMsg& msg) {
   w.WriteI64(msg.boundary);
   w.WriteU64(msg.accepted);
   w.WriteU64(msg.emissions);
+  w.WriteU64(msg.next_seq);
   return Finish(&w);
 }
 
@@ -352,7 +354,8 @@ bool DecodeHelloAck(std::string_view payload, HelloAckMsg* out,
   if (!ConsumeType(&r, MsgType::kHelloAck, error)) return false;
   if (!r.ReadU32(&out->protocol_version) || !r.ReadU32(&out->window_type) ||
       !r.ReadU32(&out->metric) || !r.ReadU32(&out->role) ||
-      !r.ReadBytes(&out->detector) || !r.ReadI64(&out->last_boundary)) {
+      !r.ReadBytes(&out->detector) || !r.ReadI64(&out->last_boundary) ||
+      !r.ReadU64(&out->next_seq)) {
     return Malformed(error, "truncated hello-ack");
   }
   return FinishDecode(r, error);
@@ -391,7 +394,7 @@ bool DecodeIngestAck(std::string_view payload, IngestAckMsg* out,
   BinaryReader r(payload);
   if (!ConsumeType(&r, MsgType::kIngestAck, error)) return false;
   if (!r.ReadI64(&out->boundary) || !r.ReadU64(&out->accepted) ||
-      !r.ReadU64(&out->emissions)) {
+      !r.ReadU64(&out->emissions) || !r.ReadU64(&out->next_seq)) {
     return Malformed(error, "truncated ingest-ack");
   }
   return FinishDecode(r, error);

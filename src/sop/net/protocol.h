@@ -53,8 +53,11 @@ namespace net {
 /// (common/frame.h) covers the framing itself. v2 adds the server role to
 /// the handshake, resume positions to subscriptions, the health plane and
 /// the replication plane. v3 adds the scale-out plane (DESIGN.md Sec. 17):
-/// the shard-config handshake and per-point owner flags on ingest.
-inline constexpr uint32_t kProtocolVersion = 3;
+/// the shard-config handshake and per-point owner flags on ingest. v4 adds
+/// the session arrival counter (`next_seq`) to hello and ingest acks, the
+/// anchor a scale-out router realigns its sequence maps against after a
+/// worker outage.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// Upper bound on one frame's payload, enforced on both send and receive.
 /// Large enough for ~100k ingested points per batch, small enough that a
@@ -112,6 +115,10 @@ struct HelloAckMsg {
   /// has been ingested yet). Late-joining ingesters continue from here —
   /// the stream is shared, so boundaries are global, not per-connection.
   int64_t last_boundary = 0;
+  /// The session's arrival sequence counter: the seq the next accepted
+  /// point will get, i.e. total points ever accepted (survives checkpoint
+  /// restore). Routers anchor local->global sequence maps to it.
+  uint64_t next_seq = 0;
 };
 
 struct IngestMsg {
@@ -137,6 +144,12 @@ struct IngestAckMsg {
   /// Emissions routed to this subscriber for this batch, delivered before
   /// the ack on the same connection.
   uint64_t emissions = 0;
+  /// The session's arrival sequence counter AFTER this batch (total points
+  /// ever accepted; unchanged on a refused batch). Authoritative even when
+  /// `accepted` was synthesized across a reconnect, which is what lets a
+  /// scale-out router realign its local->global sequence maps after a
+  /// worker missed a batch (cluster/router.h).
+  uint64_t next_seq = 0;
 };
 
 struct SubscribeMsg {

@@ -560,6 +560,7 @@ struct SopServer::Impl {
         {
           std::lock_guard<std::mutex> session_lock(session_mu);
           ack.last_boundary = last_boundary;
+          ack.next_seq = static_cast<uint64_t>(session->next_seq());
         }
         EnqueueFrame(conn, EncodeHelloAck(ack), /*droppable=*/false);
         return true;
@@ -1069,6 +1070,7 @@ struct SopServer::Impl {
       std::vector<EmissionRecord> repl_records;
       int64_t prev_boundary = kNoResume;
       bool accepted = false;
+      uint64_t next_seq = 0;
       {
         std::lock_guard<std::mutex> lock(session_mu);
         // Pre-validate what SopSession::Advance would CHECK: boundaries
@@ -1112,6 +1114,7 @@ struct SopServer::Impl {
             checkpoint_blob = BuildSnapshotFrameLocked();
           }
         }
+        next_seq = static_cast<uint64_t>(session->next_seq());
       }
 
       if (!accepted) {
@@ -1122,6 +1125,7 @@ struct SopServer::Impl {
         ack.boundary = op.msg.boundary;
         ack.accepted = 0;
         ack.emissions = 0;
+        ack.next_seq = next_seq;
         EnqueueFrame(op.conn, EncodeIngestAck(ack), /*droppable=*/false);
         continue;
       }
@@ -1143,6 +1147,7 @@ struct SopServer::Impl {
       ack.boundary = op.msg.boundary;
       ack.accepted = batch_size;
       ack.emissions = RouteEmissions(results, op.conn);
+      ack.next_seq = next_seq;
       EnqueueFrame(op.conn, EncodeIngestAck(ack), /*droppable=*/false);
 
       if (!checkpoint_blob.empty()) {

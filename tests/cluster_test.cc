@@ -16,11 +16,14 @@
 // All assertions read RouterStats/ServerStats (always-on atomics), never
 // obs counters, so the suite passes identically under -DSOP_NO_OBS.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -31,7 +34,9 @@
 #include "sop/detector/driver.h"
 #include "sop/detector/factory.h"
 #include "sop/net/client.h"
+#include "sop/net/protocol.h"
 #include "sop/net/server.h"
+#include "sop/net/socket.h"
 #include "sop/stream/window.h"
 #include "test_util.h"
 
@@ -44,6 +49,17 @@ using net::EmissionMsg;
 using net::ServerOptions;
 using net::SopClient;
 using net::SopServer;
+
+/// Polls `pred` until true or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred, int64_t timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
 
 /// Same stream shape as net_test.cc: a unit-variance cluster with ~5%
 /// spikes at +-8, so a 2-worker split at 0.0 exercises both regions and
@@ -137,10 +153,12 @@ ServerOptions WorkerOptions(const std::string& detector) {
 bool StartCluster(TestCluster* tc, int num_workers,
                   const std::string& detector, WindowType window_type,
                   std::string* error,
-                  const std::string& checkpoint_prefix = "") {
+                  const std::string& checkpoint_prefix = "",
+                  const net::ReconnectOptions* worker_reconnect = nullptr) {
   RouterOptions ro;
   ro.window_type = window_type;
   ro.detector = detector;
+  if (worker_reconnect != nullptr) ro.worker_reconnect = *worker_reconnect;
   for (int i = 0; i < num_workers; ++i) {
     ServerOptions wo = WorkerOptions(detector);
     if (!checkpoint_prefix.empty()) {
@@ -404,7 +422,203 @@ TEST(ClusterTest, WorkerKillAndRestartKeepsMergeExact) {
   EXPECT_FALSE(stats.degraded);
 }
 
+// A worker that stays DOWN past its client's bounded recovery degrades the
+// stream honestly — the failed batch still acks, its emissions carry
+// degraded=true, and the down shard's verdicts are withheld rather than
+// mistranslated — and once the worker returns from its checkpoint the
+// router realigns the shard's local->global sequence map against the acked
+// arrival counter (IngestAckMsg::next_seq): the degraded flag clears and
+// every emission whose window has moved past the hole matches the
+// single-node run exactly, global seqs included. Regression: a stale map
+// used to keep translating with a silent shift after an outage, emitting
+// wrong global seqs forever without ever flagging degraded.
+TEST(ClusterTest, WorkerOutageDegradesThenRealignsExactly) {
+  const Workload workload = [] {
+    Workload w(WindowType::kCount);
+    w.AddQuery(OutlierQuery(1.5, 4, 100, 50));
+    w.AddQuery(OutlierQuery(2.0, 3, 150, 50));
+    return w;
+  }();
+  ASSERT_EQ(workload.Validate(), "");
+  const std::vector<OutlierQuery> queries = TestQueries(false);
+  const std::vector<Point> points = GenPoints(800, false, /*seed=*/77);
+  const std::vector<Batch> batches = SliceCount(points, 50);
+  ASSERT_EQ(batches.size(), 16u);
+  std::unique_ptr<OutlierDetector> detector =
+      CreateDetector("sop", workload);
+  const std::vector<QueryResult> expected =
+      CollectResults(workload, points, detector.get());
+
+  const std::string prefix = ::testing::TempDir() + "sop_cluster_outage";
+  for (int i = 0; i < 2; ++i) {
+    std::remove((prefix + std::to_string(i) + ".checkpoint").c_str());
+  }
+  // Tight recovery bounds: while the victim is down its client gives up in
+  // milliseconds — this drives the degraded path, not the kill/restart
+  // test's transparent ride-out.
+  net::ReconnectOptions rec;
+  rec.max_attempts = 3;
+  rec.backoff_initial_ms = 1;
+  rec.backoff_max_ms = 2;
+  std::string error;
+  TestCluster tc;
+  ASSERT_TRUE(StartCluster(&tc, 2, "sop", WindowType::kCount, &error, prefix,
+                           &rec))
+      << error;
+
+  SopClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", tc.router->port(), &error))
+      << error;
+  std::map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int64_t id = client.Subscribe(queries[i], &error);
+    ASSERT_GT(id, 0) << error;
+    index_of[id] = i;
+  }
+
+  const int victim = 1;
+  const int victim_port = tc.workers[victim]->port();
+  const size_t down_bi = batches.size() / 2;  // routed into the outage
+  // That batch's points [boundary - 50, boundary) never reach the victim.
+  const int64_t hole_end = batches[down_bi].boundary;
+  std::vector<QueryResult> actual;
+  bool saw_degraded_hole = false;
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    if (bi == down_bi) tc.workers[victim]->Kill();  // no restart yet
+    if (bi == down_bi + 1) {
+      // Back from the per-batch checkpoint on the same port; the next
+      // fan-out recovers the router's client, and the recovered ack's
+      // arrival counter realigns the shard's sequence map.
+      ServerOptions wo = WorkerOptions("sop");
+      wo.port = victim_port;
+      wo.checkpoint_path = prefix + std::to_string(victim) + ".checkpoint";
+      wo.checkpoint_every_batches = 1;
+      auto restarted = std::make_unique<SopServer>(wo);
+      ASSERT_TRUE(restarted->Start(&error)) << "restart: " << error;
+      ASSERT_TRUE(restarted->stats().resumed) << "no checkpoint restored";
+      tc.workers[victim] = std::move(restarted);
+    }
+    IngestAckMsg ack;
+    ASSERT_TRUE(
+        client.Ingest(batches[bi].boundary, batches[bi].points, &ack, &error))
+        << "batch " << bi << ": " << error;
+    // The stream keeps moving without the shard — the ack still covers the
+    // whole batch — but the router says so while it lasts.
+    EXPECT_EQ(ack.accepted, batches[bi].points.size()) << "batch " << bi;
+    if (bi == down_bi) {
+      EXPECT_TRUE(tc.router->stats().degraded);
+    }
+    for (const EmissionMsg& e : client.TakeEmissions()) {
+      ASSERT_TRUE(index_of.count(e.query_id) != 0);
+      if (e.boundary == hole_end) {
+        // The down shard's verdicts are missing by design; flagged.
+        EXPECT_TRUE(e.degraded) << "@" << e.boundary;
+        saw_degraded_hole = true;
+        continue;
+      }
+      if (e.boundary < hole_end) {
+        EXPECT_FALSE(e.degraded) << "@" << e.boundary;
+      }
+      QueryResult r;
+      r.query_index = index_of[e.query_id];
+      r.boundary = e.boundary;
+      r.outliers = e.outliers;
+      actual.push_back(std::move(r));
+    }
+  }
+  EXPECT_TRUE(saw_degraded_hole);
+
+  // Exactness before the outage and after every window clears the hole
+  // (max window 150; boundaries in between see a genuinely incomplete
+  // window on the victim and are not compared).
+  const int64_t clean = hole_end + 150;
+  const auto slice = [](const std::vector<QueryResult>& in, int64_t lo,
+                        int64_t hi) {
+    std::vector<QueryResult> out;
+    for (const QueryResult& r : in) {
+      if (r.boundary >= lo && r.boundary < hi) out.push_back(r);
+    }
+    return out;
+  };
+  testing::ExpectSameResults(slice(expected, 0, hole_end),
+                             slice(actual, 0, hole_end), "outage prefix");
+  const std::vector<QueryResult> expected_tail =
+      slice(expected, clean, INT64_MAX);
+  testing::ExpectSameResults(expected_tail, slice(actual, clean, INT64_MAX),
+                             "outage tail");
+  // The tail must prove something: post-heal emissions carry outliers
+  // whose GLOBAL seqs came through the realigned map.
+  size_t tail_outliers = 0;
+  for (const QueryResult& r : expected_tail) {
+    tail_outliers += r.outliers.size();
+  }
+  EXPECT_GT(tail_outliers, 0u);
+
+  const RouterStats stats = tc.router->stats();
+  EXPECT_GE(stats.worker_failures, 1u);
+  EXPECT_GE(stats.worker_reconnects, 1u);
+  EXPECT_FALSE(stats.degraded);  // current health, not a sticky latch
+}
+
+// Stop() while batches are mid-flight must drain and return: a dispatched
+// fan-out job that got dropped on shutdown would strand its fork-join and
+// leave the route loop (and Stop()) waiting forever. Regression for
+// exactly that deadlock.
+TEST(ClusterTest, StopUnderActiveIngestDrains) {
+  TestCluster tc;
+  std::string error;
+  ASSERT_TRUE(StartCluster(&tc, 2, "sop", WindowType::kCount, &error))
+      << error;
+
+  SopClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", tc.router->port(), &error))
+      << error;
+  ASSERT_GT(client.Subscribe(OutlierQuery(1.5, 4, 100, 50), &error), 0)
+      << error;
+  const std::vector<Point> points = GenPoints(10000, false, /*seed=*/21);
+  const std::vector<Batch> batches = SliceCount(points, 50);
+
+  std::thread ingester([&] {
+    std::string ierror;
+    for (const Batch& b : batches) {
+      IngestAckMsg ack;
+      // Stop() closes the connection mid-stream; the failed call is the
+      // expected way out.
+      if (!client.Ingest(b.boundary, b.points, &ack, &ierror)) break;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tc.router->Stop();
+  ingester.join();
+  EXPECT_GT(tc.router->stats().ingest_batches, 0u);
+}
+
 // --- admission and refusal paths -----------------------------------------
+
+// The router's front handshake refuses a hello from a different protocol
+// version with a diagnostic — the same contract as the single server —
+// instead of letting later frames fail to decode mysteriously.
+TEST(ClusterTest, HelloVersionMismatchIsRefused) {
+  TestCluster tc;
+  std::string error;
+  ASSERT_TRUE(StartCluster(&tc, 2, "sop", WindowType::kCount, &error))
+      << error;
+
+  net::HelloMsg hello;
+  hello.protocol_version = net::kProtocolVersion - 1;
+  net::Socket raw = net::ConnectTcp("127.0.0.1", tc.router->port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  const net::NetRetryOptions retry;
+  ASSERT_TRUE(net::SendAll(raw, net::EncodeHello(hello), retry, &error))
+      << error;
+  ASSERT_TRUE(WaitUntil(
+      [&] { return tc.router->stats().protocol_errors >= 1; }));
+
+  // A current-version client on the same router is untouched.
+  SopClient ok;
+  ASSERT_TRUE(ok.Connect("127.0.0.1", tc.router->port(), &error)) << error;
+  EXPECT_EQ(ok.server_info().protocol_version, net::kProtocolVersion);
+}
 
 // Once the first batch freezes the halo, a subscribe whose radius exceeds
 // it is refused with a diagnostic: serving it would silently miss

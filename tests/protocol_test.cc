@@ -53,6 +53,7 @@ TEST(ProtocolTest, HelloAckRoundTrip) {
   msg.role = static_cast<uint32_t>(ServerRole::kStandby);
   msg.detector = "mcod-grid";
   msg.last_boundary = -42;
+  msg.next_seq = 987654321;
   HelloAckMsg out;
   std::string error;
   std::string_view payload;
@@ -65,6 +66,7 @@ TEST(ProtocolTest, HelloAckRoundTrip) {
   EXPECT_EQ(out.role, static_cast<uint32_t>(ServerRole::kStandby));
   EXPECT_EQ(out.detector, "mcod-grid");
   EXPECT_EQ(out.last_boundary, -42);
+  EXPECT_EQ(out.next_seq, 987654321u);
 }
 
 TEST(ProtocolTest, IngestRoundTripPreservesPoints) {
@@ -89,7 +91,7 @@ TEST(ProtocolTest, IngestRoundTripPreservesPoints) {
 
 TEST(ProtocolTest, AckAndControlRoundTrips) {
   {
-    IngestAckMsg msg{77, 128, 3};
+    IngestAckMsg msg{77, 128, 3, 4096};
     IngestAckMsg out;
     std::string error;
     std::string_view payload;
@@ -99,6 +101,7 @@ TEST(ProtocolTest, AckAndControlRoundTrips) {
     EXPECT_EQ(out.boundary, 77);
     EXPECT_EQ(out.accepted, 128u);
     EXPECT_EQ(out.emissions, 3u);
+    EXPECT_EQ(out.next_seq, 4096u);
   }
   {
     SubscribeMsg msg;
