@@ -1,0 +1,58 @@
+#include "sop/common/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace sop {
+
+namespace {
+
+/// The default time source: std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMicros(int64_t us) override {
+    if (us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+};
+
+RealClock* RealSingleton() {
+  static RealClock clock;
+  return &clock;
+}
+
+std::atomic<Clock*> g_armed{nullptr};
+
+}  // namespace
+
+Clock* Clock::Active() {
+  Clock* armed = g_armed.load(std::memory_order_acquire);
+  return armed != nullptr ? armed : RealSingleton();
+}
+
+void Clock::Arm(Clock* clock) {
+  Clock* expected = nullptr;
+  if (!g_armed.compare_exchange_strong(expected, clock,
+                                       std::memory_order_acq_rel)) {
+    std::fprintf(stderr, "Clock::Arm: a clock is already armed\n");
+    std::abort();
+  }
+}
+
+void Clock::Disarm(Clock* clock) {
+  Clock* expected = clock;
+  g_armed.compare_exchange_strong(expected, nullptr,
+                                  std::memory_order_acq_rel);
+}
+
+}  // namespace sop

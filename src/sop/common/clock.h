@@ -1,0 +1,69 @@
+// Process-wide time source with an arming hook, mirroring the
+// FaultInjector registry (common/fault.h): production code reads time and
+// sleeps through Clock::Active(), which is the real steady clock unless a
+// test armed a substitute. The deterministic simulation harness
+// (sim/sim.h) arms a virtual clock whose SleepMicros advances simulated
+// time instantly, so every retry/backoff and timeout path it reaches —
+// the socket fault backoff, the client's reconnect schedule, the
+// replication reconnect cadence — runs at full speed under test without
+// touching wall time.
+//
+// Arm/Disarm are for test harnesses only and must bracket the lifetime of
+// every thread that might sleep through the armed clock.
+
+#ifndef SOP_COMMON_CLOCK_H_
+#define SOP_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace sop {
+
+/// Time-source interface. Implementations must be thread-safe: NowMicros
+/// and SleepMicros are called concurrently from every serving thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() = 0;
+
+  /// Blocks the caller for `us` microseconds of this clock's time. A
+  /// virtual clock advances its epoch and returns immediately.
+  virtual void SleepMicros(int64_t us) = 0;
+
+  /// The armed clock, or the real (steady_clock) singleton.
+  static Clock* Active();
+
+  /// Arms `clock` process-wide. Exactly one clock may be armed at a time;
+  /// arming over a live clock aborts (it would silently skew time).
+  static void Arm(Clock* clock);
+
+  /// Disarms `clock` if it is the armed one (tolerates races with a
+  /// concurrent disarm, like FaultInjector).
+  static void Disarm(Clock* clock);
+};
+
+/// RAII arming for tests.
+class ScopedClock {
+ public:
+  explicit ScopedClock(Clock* clock) : clock_(clock) { Clock::Arm(clock_); }
+  ~ScopedClock() { Clock::Disarm(clock_); }
+
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+
+ private:
+  Clock* clock_;
+};
+
+/// Convenience wrappers over Clock::Active().
+inline int64_t NowMicros();
+inline void SleepMicros(int64_t us);
+inline void SleepMillis(int64_t ms) { SleepMicros(ms * 1000); }
+
+inline int64_t NowMicros() { return Clock::Active()->NowMicros(); }
+inline void SleepMicros(int64_t us) { Clock::Active()->SleepMicros(us); }
+
+}  // namespace sop
+
+#endif  // SOP_COMMON_CLOCK_H_

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "sop/common/clock.h"
 #include "sop/obs/trace.h"
 
 namespace sop {
@@ -281,7 +282,7 @@ bool SopClient::Recover(std::string* error) {
   std::string last_error = "no endpoints";
   for (int attempt = 0; attempt < reconnect_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      SleepMillis(backoff_ms);
       backoff_ms = std::min(backoff_ms * 2, reconnect_.backoff_max_ms);
     }
     const Endpoint& ep = endpoints[attempt % endpoints.size()];

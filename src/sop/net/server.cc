@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "sop/common/clock.h"
 #include "sop/common/fault.h"
 #include "sop/common/frame.h"
 #include "sop/common/thread_pool.h"
@@ -44,6 +45,7 @@ struct Conn {
   std::mutex mu;
   std::condition_variable cv_push;  // writer waits: queue non-empty/closing
   std::condition_variable cv_pop;   // kBlock enqueuers wait: queue has room
+  std::condition_variable cv_done;  // Stop() waits: writer_done
 
   struct Outgoing {
     std::string frame;
@@ -269,7 +271,11 @@ struct SopServer::Impl {
 
   void WriterLoop(const std::shared_ptr<Conn>& conn) {
     WriterBody(conn);
-    conn->writer_done.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->writer_done.store(true, std::memory_order_release);
+    }
+    conn->cv_done.notify_all();
   }
 
   void WriterBody(const std::shared_ptr<Conn>& conn) {
@@ -455,7 +461,7 @@ struct SopServer::Impl {
               killing.load(std::memory_order_relaxed)) {
             return;
           }
-          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          SleepMillis(50);
           continue;
         }
         decoder = FrameDecoder();
@@ -1335,9 +1341,11 @@ void SopServer::Stop() {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
   for (const std::shared_ptr<Conn>& conn : conns) {
-    while (!conn->writer_done.load(std::memory_order_acquire) &&
-           std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv_done.wait_until(lock, deadline, [&] {
+        return conn->writer_done.load(std::memory_order_acquire);
+      });
     }
     if (!conn->writer_done.load(std::memory_order_acquire)) {
       conn->sock.ShutdownBoth();

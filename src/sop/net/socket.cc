@@ -1,19 +1,10 @@
 #include "sop/net/socket.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <thread>
 
+#include "sop/common/clock.h"
 #include "sop/common/fault.h"
+#include "sop/net/transport.h"
 #include "sop/obs/trace.h"
 
 namespace sop {
@@ -21,16 +12,11 @@ namespace net {
 
 namespace {
 
-bool Fail(std::string* error, const std::string& what) {
-  if (error != nullptr) {
-    *error = what + ": " + std::strerror(errno);
-  }
-  return false;
-}
-
 // Consults the armed injector at `site`; retries injected transient
-// failures with bounded backoff. Returns false when the retry budget is
-// exhausted (treated as a hard connection failure by the caller).
+// failures with bounded backoff (through the active clock, so a virtual
+// clock makes the backoff instantaneous). Returns false when the retry
+// budget is exhausted (treated as a hard connection failure by the
+// caller).
 bool RideOutInjectedFaults(FaultSite site, const NetRetryOptions& retry,
                            std::string* error) {
   FaultInjector* injector = FaultInjector::Armed();
@@ -47,168 +33,96 @@ bool RideOutInjectedFaults(FaultSite site, const NetRetryOptions& retry,
       }
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    SleepMicros(backoff_us);
     backoff_us = std::min(backoff_us * 2, retry.backoff_max_us);
   }
   return true;
 }
 
-bool ParseAddress(const std::string& host, int port, sockaddr_in* addr,
-                  std::string* error) {
-  std::memset(addr, 0, sizeof(*addr));
-  addr->sin_family = AF_INET;
-  addr->sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
-    if (error != nullptr) {
-      *error = "bad IPv4 address '" + host + "'";
-    }
-    return false;
-  }
-  return true;
+bool SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
 }
 
 }  // namespace
 
-Socket& Socket::operator=(Socket&& other) noexcept {
-  if (this != &other) {
-    Close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
 void Socket::ShutdownBoth() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (conn_ != nullptr) conn_->ShutdownBoth();
+  if (listener_ != nullptr) listener_->Shutdown();
 }
 
 void Socket::ShutdownRead() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+  if (conn_ != nullptr) conn_->ShutdownRead();
+  if (listener_ != nullptr) listener_->Shutdown();
 }
 
 void Socket::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
+  }
+  if (listener_ != nullptr) {
+    listener_->Close();
+    listener_.reset();
   }
 }
 
 Socket ListenTcp(const std::string& host, int port, int backlog,
                  int* bound_port, std::string* error) {
-  sockaddr_in addr;
-  if (!ParseAddress(host, port, &addr, error)) return Socket();
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!sock.valid()) {
-    Fail(error, "socket");
-    return Socket();
-  }
-  const int one = 1;
-  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Fail(error, "bind " + host + ":" + std::to_string(port));
-    return Socket();
-  }
-  if (::listen(sock.fd(), backlog) != 0) {
-    Fail(error, "listen");
-    return Socket();
-  }
-  if (bound_port != nullptr) {
-    sockaddr_in actual;
-    socklen_t len = sizeof(actual);
-    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
-                      &len) != 0) {
-      Fail(error, "getsockname");
-      return Socket();
-    }
-    *bound_port = ntohs(actual.sin_port);
-  }
-  return sock;
+  std::unique_ptr<TransportListener> listener =
+      Transport::Active()->Listen(host, port, backlog, error);
+  if (listener == nullptr) return Socket();
+  if (bound_port != nullptr) *bound_port = listener->port();
+  return Socket(std::move(listener));
 }
 
 Socket AcceptTcp(const Socket& listener, std::string* error) {
-  for (;;) {
-    const int fd = ::accept(listener.fd(), nullptr, nullptr);
-    if (fd >= 0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return Socket(fd);
-    }
-    if (errno == EINTR) continue;
-    Fail(error, "accept");
+  if (listener.listener() == nullptr) {
+    SetError(error, "accept: not a listening socket");
     return Socket();
   }
+  std::unique_ptr<TransportConn> conn = listener.listener()->Accept(error);
+  if (conn == nullptr) return Socket();
+  return Socket(std::move(conn));
 }
 
 Socket ConnectTcp(const std::string& host, int port, std::string* error) {
-  sockaddr_in addr;
-  if (!ParseAddress(host, port, &addr, error)) return Socket();
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!sock.valid()) {
-    Fail(error, "socket");
-    return Socket();
-  }
-  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Fail(error, "connect " + host + ":" + std::to_string(port));
-    return Socket();
-  }
-  const int one = 1;
-  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return sock;
+  std::unique_ptr<TransportConn> conn =
+      Transport::Active()->Connect(host, port, error);
+  if (conn == nullptr) return Socket();
+  return Socket(std::move(conn));
 }
 
 int64_t RecvSome(const Socket& sock, char* buf, size_t cap,
                  const NetRetryOptions& retry, std::string* error) {
-  if (!RideOutInjectedFaults(FaultSite::kNetRead, retry, error)) return -1;
-  for (;;) {
-    const ssize_t n = ::recv(sock.fd(), buf, cap, 0);
-    if (n >= 0) return static_cast<int64_t>(n);
-    if (errno == EINTR) continue;
-    Fail(error, "recv");
+  if (sock.conn() == nullptr) {
+    SetError(error, "recv: not a connected socket");
     return -1;
   }
+  if (!RideOutInjectedFaults(FaultSite::kNetRead, retry, error)) return -1;
+  return sock.conn()->Recv(buf, cap, /*timeout_ms=*/-1, error);
 }
 
 int64_t RecvSomeTimeout(const Socket& sock, char* buf, size_t cap,
                         int timeout_ms, const NetRetryOptions& retry,
                         std::string* error) {
-  if (timeout_ms >= 0) {
-    pollfd pfd;
-    pfd.fd = sock.fd();
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    for (;;) {
-      const int ready = ::poll(&pfd, 1, timeout_ms);
-      if (ready > 0) break;  // readable, hung up, or errored: recv decides
-      if (ready == 0) return kRecvTimedOut;
-      if (errno == EINTR) continue;
-      Fail(error, "poll");
-      return -1;
-    }
+  if (sock.conn() == nullptr) {
+    SetError(error, "recv: not a connected socket");
+    return -1;
   }
-  return RecvSome(sock, buf, cap, retry, error);
+  if (!RideOutInjectedFaults(FaultSite::kNetRead, retry, error)) return -1;
+  return sock.conn()->Recv(buf, cap, timeout_ms, error);
 }
 
 bool SendAll(const Socket& sock, const std::string& bytes,
              const NetRetryOptions& retry, std::string* error) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    if (!RideOutInjectedFaults(FaultSite::kNetWrite, retry, error)) {
-      return false;
-    }
-    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
-    // process with SIGPIPE.
-    const ssize_t n = ::send(sock.fd(), bytes.data() + sent,
-                             bytes.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return Fail(error, "send");
+  if (sock.conn() == nullptr) {
+    return SetError(error, "send: not a connected socket");
   }
-  return true;
+  if (!RideOutInjectedFaults(FaultSite::kNetWrite, retry, error)) {
+    return false;
+  }
+  return sock.conn()->Send(bytes.data(), bytes.size(), error);
 }
 
 }  // namespace net

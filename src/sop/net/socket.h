@@ -1,6 +1,12 @@
-// Thin POSIX TCP helpers shared by SopServer and SopClient: RAII fd
+// TCP helpers shared by SopServer and SopClient: RAII connection
 // ownership, full-buffer sends, and recv/send wrappers that consult the
 // armed FaultInjector (common/fault.h) at the net-read / net-write sites.
+//
+// Since the sim harness landed (DESIGN.md Sec. 18) these are thin shims
+// over the process transport (net/transport.h): by default the POSIX TCP
+// stack, under test possibly the deterministic in-memory SimNet. The
+// fault-injection retry discipline lives here, above the transport seam,
+// so both transports see it identically.
 //
 // Injected failures model transient socket errors (EINTR, brief EAGAIN):
 // the wrappers retry with bounded exponential backoff, mirroring the
@@ -8,15 +14,15 @@
 // retries — and every real socket error — surface as an ordinary failure
 // return: unlike the engine, the serving layer must never abort the
 // process because one connection went bad.
-//
-// Everything here is exception-free and errno-based; error strings carry
-// strerror text for logs.
 
 #ifndef SOP_NET_SOCKET_H_
 #define SOP_NET_SOCKET_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "sop/net/transport.h"
 
 namespace sop {
 namespace net {
@@ -29,37 +35,46 @@ struct NetRetryOptions {
   int backoff_max_us = 5000;
 };
 
-/// Owning file-descriptor wrapper. Move-only; closes on destruction.
+/// Owning wrapper over one transport endpoint — either an established
+/// connection or a listener. Move-only; closes on destruction.
 class Socket {
  public:
   Socket() = default;
-  explicit Socket(int fd) : fd_(fd) {}
+  explicit Socket(std::unique_ptr<TransportConn> conn)
+      : conn_(std::move(conn)) {}
+  explicit Socket(std::unique_ptr<TransportListener> listener)
+      : listener_(std::move(listener)) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-  Socket& operator=(Socket&& other) noexcept;
+  Socket(Socket&& other) noexcept = default;
+  Socket& operator=(Socket&& other) noexcept = default;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  int fd() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const { return conn_ != nullptr || listener_ != nullptr; }
 
-  /// shutdown(2) both directions — unblocks any thread inside recv/send on
-  /// this socket (the close path readers/writers rely on).
+  /// The underlying endpoints (null when this Socket is the other kind).
+  TransportConn* conn() const { return conn_.get(); }
+  TransportListener* listener() const { return listener_.get(); }
+
+  /// Both directions — unblocks any thread inside recv/send on this
+  /// connection (the close path readers/writers rely on). On a listener:
+  /// unblocks Accept.
   void ShutdownBoth();
-  /// shutdown(2) the read direction only: the blocked reader wakes with an
-  /// orderly EOF while queued outbound bytes still drain — the graceful
-  /// stop path, as opposed to ShutdownBoth's discard-everything close.
+  /// The read direction only: the blocked reader wakes with an orderly
+  /// EOF while queued outbound bytes still drain — the graceful stop
+  /// path, as opposed to ShutdownBoth's discard-everything close.
   void ShutdownRead();
   void Close();
 
  private:
-  int fd_ = -1;
+  std::unique_ptr<TransportConn> conn_;
+  std::unique_ptr<TransportListener> listener_;
 };
 
-/// Creates a listening TCP socket bound to `host:port` (port 0 picks an
-/// ephemeral port; *bound_port reports the actual one). Returns an invalid
-/// Socket with `*error` set on failure.
+/// Creates a listening socket bound to `host:port` on the active
+/// transport (port 0 picks an ephemeral port; *bound_port reports the
+/// actual one). Returns an invalid Socket with `*error` set on failure.
 Socket ListenTcp(const std::string& host, int port, int backlog,
                  int* bound_port, std::string* error);
 
@@ -67,8 +82,8 @@ Socket ListenTcp(const std::string& host, int port, int backlog,
 /// the listener being shut down, the normal stop path).
 Socket AcceptTcp(const Socket& listener, std::string* error);
 
-/// Connects to `host:port`. Returns an invalid Socket with `*error` set on
-/// failure.
+/// Connects to `host:port` on the active transport. Returns an invalid
+/// Socket with `*error` set on failure.
 Socket ConnectTcp(const std::string& host, int port, std::string* error);
 
 /// Receives up to `cap` bytes into `buf`. Returns the byte count, 0 on
@@ -78,7 +93,7 @@ Socket ConnectTcp(const std::string& host, int port, std::string* error);
 int64_t RecvSome(const Socket& sock, char* buf, size_t cap,
                  const NetRetryOptions& retry, std::string* error);
 
-/// RecvSome with a deadline: poll(2)s for readability up to `timeout_ms`
+/// RecvSome with a deadline: waits for readability up to `timeout_ms`
 /// first. Returns -2 when the deadline passes with no data (not an error —
 /// the caller decides whether an idle wait is fatal), otherwise exactly
 /// RecvSome's contract. timeout_ms < 0 degenerates to a plain RecvSome.
@@ -90,7 +105,7 @@ int64_t RecvSomeTimeout(const Socket& sock, char* buf, size_t cap,
 inline constexpr int64_t kRecvTimedOut = -2;
 
 /// Sends all of `bytes`, looping over short writes. Consults the injector
-/// at net-write per send(2) call. Returns false on error or a closed peer.
+/// at net-write. Returns false on error or a closed peer.
 bool SendAll(const Socket& sock, const std::string& bytes,
              const NetRetryOptions& retry, std::string* error);
 

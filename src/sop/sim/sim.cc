@@ -1,0 +1,498 @@
+#include "sop/sim/sim.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sop/common/random.h"
+
+namespace sop {
+namespace sim {
+
+namespace {
+
+constexpr int64_t kRecvTimedOut = -2;  // mirrors net::kRecvTimedOut
+
+uint64_t Mix(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+bool SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// One direction of a connection: a byte stream carried as segments.
+struct Channel {
+  struct Delayed {
+    std::string bytes;
+    int64_t release_at = 0;
+  };
+
+  std::deque<std::string> ready;   // deliverable now, FIFO
+  std::deque<Delayed> delayed;     // FIFO; release_at nondecreasing
+  bool eof = false;
+  bool has_held = false;           // reorder holdback
+  std::string held;
+  uint64_t seg_count = 0;          // segments sent into this channel
+  std::unique_ptr<Rng> rng;        // this channel's fate stream
+
+  // Flushing the holdback on EOF keeps a lone reordered segment from
+  // vanishing (reorder means "after its successor", and EOF is the
+  // successor of the last segment).
+  void SetEof() {
+    if (has_held) {
+      ready.push_back(std::move(held));
+      has_held = false;
+    }
+    eof = true;
+  }
+};
+
+/// Shared state of one connection (both endpoints).
+struct Pair {
+  int server_port = 0;
+  uint64_t serial = 0;
+  Channel c2s;  // client -> server
+  Channel s2c;  // server -> client
+  bool cut = false;  // truncation/kill: every further send fails
+};
+
+struct ListenerState;
+
+struct RuleState {
+  FaultRule rule;
+  uint64_t applications = 0;
+};
+
+}  // namespace
+
+struct SimNet::Impl {
+  // One monitor for the whole harness: channels, listeners, rules, and
+  // the virtual clock all change under mu and broadcast on cv. Coarse,
+  // and exactly what determinism wants.
+  mutable std::mutex mu;
+  std::condition_variable cv;
+
+  uint64_t seed = 0;
+  int64_t now_us = 0;
+  uint64_t next_serial = 0;
+  int next_ephemeral = 40000;
+  std::vector<RuleState> rules;
+  std::set<int> partitioned;
+  std::map<int, std::shared_ptr<ListenerState>> listeners;
+  std::vector<std::weak_ptr<Pair>> pairs;  // every connection ever made
+  SimStats stats;
+
+  void AdvanceLocked(int64_t us) {
+    now_us += us;
+    cv.notify_all();
+  }
+
+  // Moves segments whose simulated release time has passed into the
+  // ready queue, preserving release order.
+  void ReleaseDue(Channel* ch) {
+    while (!ch->delayed.empty() &&
+           ch->delayed.front().release_at <= now_us) {
+      ch->ready.push_back(std::move(ch->delayed.front().bytes));
+      ch->delayed.pop_front();
+    }
+  }
+};
+
+namespace {
+
+struct ListenerState {
+  int port = 0;
+  bool open = true;
+  std::deque<std::unique_ptr<net::TransportConn>> pending;
+};
+
+/// The virtual clock: SleepMicros advances simulated time and returns.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(SimNet::Impl* impl) : impl_(impl) {}
+
+  int64_t NowMicros() override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->now_us;
+  }
+
+  void SleepMicros(int64_t us) override {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->AdvanceLocked(us > 0 ? us : 0);
+    }
+    // A sleeping thread is usually waiting for another to make progress
+    // (a promotion, an ack): hand the core over instead of spinning.
+    std::this_thread::yield();
+  }
+
+ private:
+  SimNet::Impl* impl_;
+};
+
+class SimConn : public net::TransportConn {
+ public:
+  SimConn(std::shared_ptr<SimNet::Impl> impl, std::shared_ptr<Pair> pair,
+          bool is_client)
+      : impl_(std::move(impl)), pair_(std::move(pair)),
+        is_client_(is_client) {}
+
+  ~SimConn() override { Close(); }
+
+  int64_t Recv(char* buf, size_t cap, int timeout_ms,
+               std::string* error) override {
+    (void)error;  // sim reads never fail mid-stream; they EOF or time out
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    Channel* in = is_client_ ? &pair_->s2c : &pair_->c2s;
+    const int64_t deadline =
+        timeout_ms >= 0 ? impl_->now_us + int64_t{timeout_ms} * 1000 : -1;
+    for (;;) {
+      impl_->ReleaseDue(in);
+      if (!in->ready.empty()) {
+        std::string& front = in->ready.front();
+        const size_t n = std::min(cap, front.size());
+        std::memcpy(buf, front.data(), n);
+        if (n == front.size()) {
+          in->ready.pop_front();
+        } else {
+          front.erase(0, n);
+        }
+        return static_cast<int64_t>(n);
+      }
+      if (in->eof || read_shutdown_ || closed_) return 0;
+      if (deadline >= 0 && impl_->now_us >= deadline) return kRecvTimedOut;
+      if (!in->delayed.empty()) {
+        // Everyone who could feed this channel is behind a latency
+        // spike: simulated time jumps to the next release (bounded by
+        // the deadline, which then fires above).
+        const int64_t release = in->delayed.front().release_at;
+        if (deadline < 0 || release <= deadline) {
+          if (impl_->now_us < release) {
+            impl_->now_us = release;
+            impl_->cv.notify_all();
+          }
+          continue;
+        }
+        impl_->now_us = deadline;
+        impl_->cv.notify_all();
+        continue;
+      }
+      impl_->cv.wait(lock);
+    }
+  }
+
+  bool Send(const char* data, size_t len, std::string* error) override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    Channel* out = is_client_ ? &pair_->c2s : &pair_->s2c;
+    if (closed_ || pair_->cut || out->eof) {
+      return SetError(error, "send: sim connection closed");
+    }
+    SimStats& stats = impl_->stats;
+    stats.segments++;
+    out->seg_count++;
+    if (impl_->partitioned.count(pair_->server_port) != 0) {
+      // A partition swallows the segment with no local error, exactly
+      // like a one-way-dead network under TCP.
+      stats.partition_dropped++;
+      return true;
+    }
+    std::string bytes(data, len);
+    const int dir = is_client_ ? +1 : -1;
+    RuleState* hit = nullptr;
+    for (RuleState& rs : impl_->rules) {
+      const FaultRule& r = rs.rule;
+      if (r.dst_port != 0 && r.dst_port != pair_->server_port) continue;
+      if (r.direction != 0 && r.direction != dir) continue;
+      if (out->seg_count <= r.skip_segments) continue;
+      if (rs.applications >= r.max_applications) continue;
+      if (r.rate < 1.0 && !out->rng->Bernoulli(r.rate)) continue;
+      hit = &rs;
+      break;
+    }
+    if (hit == nullptr) {
+      Deliver(out, std::move(bytes));
+      impl_->cv.notify_all();
+      return true;
+    }
+    hit->applications++;
+    switch (hit->rule.action) {
+      case FaultRule::Action::kDrop:
+        stats.dropped++;
+        break;
+      case FaultRule::Action::kDuplicate:
+        stats.duplicated++;
+        Deliver(out, bytes);
+        Deliver(out, std::move(bytes));
+        break;
+      case FaultRule::Action::kReorder:
+        stats.reordered++;
+        if (out->has_held) {
+          // Two holdbacks in a row: deliver this one, then the held one
+          // (still a swap relative to send order).
+          Deliver(out, std::move(bytes));
+          Deliver(out, std::move(out->held));
+          out->has_held = false;
+        } else {
+          out->held = std::move(bytes);
+          out->has_held = true;
+        }
+        break;
+      case FaultRule::Action::kDelay:
+        stats.delayed++;
+        InsertDelayed(out, std::move(bytes),
+                      impl_->now_us + hit->rule.delay_us);
+        break;
+      case FaultRule::Action::kTruncate:
+        stats.truncated++;
+        if (hit->rule.truncate_at < bytes.size()) {
+          bytes.resize(hit->rule.truncate_at);
+        }
+        if (!bytes.empty()) Deliver(out, std::move(bytes));
+        pair_->cut = true;
+        pair_->c2s.SetEof();
+        pair_->s2c.SetEof();
+        break;
+    }
+    // A non-faulted successor releases reorder holdbacks; without this a
+    // single held segment would starve behind an idle channel.
+    if (out->has_held && hit->rule.action != FaultRule::Action::kReorder) {
+      Deliver(out, std::move(out->held));
+      out->has_held = false;
+    }
+    impl_->cv.notify_all();
+    return true;
+  }
+
+  void ShutdownBoth() override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    pair_->cut = true;
+    pair_->c2s.SetEof();
+    pair_->s2c.SetEof();
+    impl_->cv.notify_all();
+  }
+
+  void ShutdownRead() override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    read_shutdown_ = true;
+    impl_->cv.notify_all();
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (closed_) return;
+    closed_ = true;
+    pair_->cut = true;
+    pair_->c2s.SetEof();
+    pair_->s2c.SetEof();
+    impl_->cv.notify_all();
+  }
+
+ private:
+  // A connection never reorders bytes (only kReorder does, on purpose):
+  // while earlier segments are still delayed, later ones queue behind
+  // them — head-of-line blocking, like real in-order delivery behind a
+  // latency spike.
+  void Deliver(Channel* out, std::string bytes) {
+    impl_->stats.delivered++;
+    if (!out->delayed.empty()) {
+      out->delayed.push_back(
+          Channel::Delayed{std::move(bytes), out->delayed.back().release_at});
+      return;
+    }
+    out->ready.push_back(std::move(bytes));
+  }
+
+  void InsertDelayed(Channel* out, std::string bytes, int64_t release_at) {
+    // FIFO: a segment can be late, never early relative to its
+    // predecessor, so the queue stays sorted by construction.
+    if (!out->delayed.empty()) {
+      release_at = std::max(release_at, out->delayed.back().release_at);
+    }
+    out->delayed.push_back(Channel::Delayed{std::move(bytes), release_at});
+  }
+
+  std::shared_ptr<SimNet::Impl> impl_;
+  std::shared_ptr<Pair> pair_;
+  const bool is_client_;
+  bool read_shutdown_ = false;  // guarded by impl_->mu
+  bool closed_ = false;         // guarded by impl_->mu
+};
+
+class SimListener : public net::TransportListener {
+ public:
+  SimListener(std::shared_ptr<SimNet::Impl> impl,
+              std::shared_ptr<ListenerState> state)
+      : impl_(std::move(impl)), state_(std::move(state)) {}
+
+  ~SimListener() override { Close(); }
+
+  std::unique_ptr<net::TransportConn> Accept(std::string* error) override {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    for (;;) {
+      if (!state_->pending.empty()) {
+        std::unique_ptr<net::TransportConn> conn =
+            std::move(state_->pending.front());
+        state_->pending.pop_front();
+        return conn;
+      }
+      if (!state_->open) {
+        SetError(error, "accept: listener closed");
+        return nullptr;
+      }
+      impl_->cv.wait(lock);
+    }
+  }
+
+  int port() const override { return state_->port; }
+
+  void Shutdown() override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    state_->open = false;
+    impl_->cv.notify_all();
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    state_->open = false;
+    // Unaccepted connections read as refused-by-close on the client end.
+    state_->pending.clear();
+    auto it = impl_->listeners.find(state_->port);
+    if (it != impl_->listeners.end() && it->second == state_) {
+      impl_->listeners.erase(it);
+    }
+    impl_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<SimNet::Impl> impl_;
+  std::shared_ptr<ListenerState> state_;
+};
+
+}  // namespace
+
+SimNet::SimNet(uint64_t seed) : impl_(std::make_shared<Impl>()) {
+  impl_->seed = seed;
+}
+
+SimNet::~SimNet() = default;
+
+std::unique_ptr<net::TransportListener> SimNet::Listen(
+    const std::string& host, int port, int backlog, std::string* error) {
+  (void)host;
+  (void)backlog;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (port == 0) port = impl_->next_ephemeral++;
+  if (impl_->listeners.count(port) != 0) {
+    SetError(error, "bind: sim port " + std::to_string(port) + " in use");
+    return nullptr;
+  }
+  auto state = std::make_shared<ListenerState>();
+  state->port = port;
+  impl_->listeners[port] = state;
+  impl_->cv.notify_all();
+  return std::make_unique<SimListener>(impl_, std::move(state));
+}
+
+std::unique_ptr<net::TransportConn> SimNet::Connect(const std::string& host,
+                                                    int port,
+                                                    std::string* error) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->listeners.find(port);
+  if (it == impl_->listeners.end() || !it->second->open ||
+      impl_->partitioned.count(port) != 0) {
+    impl_->stats.refused_connects++;
+    SetError(error, "connect " + host + ":" + std::to_string(port) +
+                        ": connection refused");
+    return nullptr;
+  }
+  auto pair = std::make_shared<Pair>();
+  pair->server_port = port;
+  pair->serial = impl_->next_serial++;
+  impl_->pairs.push_back(pair);
+  const uint64_t base =
+      Mix(Mix(impl_->seed, static_cast<uint64_t>(port)), pair->serial);
+  pair->c2s.rng = std::make_unique<Rng>(Mix(base, 1));
+  pair->s2c.rng = std::make_unique<Rng>(Mix(base, 2));
+  auto client = std::make_unique<SimConn>(impl_, pair, /*is_client=*/true);
+  it->second->pending.push_back(
+      std::make_unique<SimConn>(impl_, pair, /*is_client=*/false));
+  impl_->stats.connects++;
+  impl_->cv.notify_all();
+  return client;
+}
+
+Clock* SimNet::clock() {
+  // One clock per harness, sharing the monitor; lives as long as impl_.
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (clock_ == nullptr) clock_ = std::make_shared<VirtualClock>(impl_.get());
+  return clock_.get();
+}
+
+int64_t SimNet::NowMicros() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->now_us;
+}
+
+void SimNet::AdvanceMicros(int64_t us) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->AdvanceLocked(us);
+}
+
+void SimNet::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.push_back(RuleState{rule, 0});
+}
+
+void SimNet::ClearRules() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.clear();
+}
+
+void SimNet::Partition(int port) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->partitioned.insert(port);
+  impl_->cv.notify_all();
+}
+
+void SimNet::Heal(int port) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->partitioned.erase(port);
+  impl_->cv.notify_all();
+}
+
+void SimNet::CutConnections(int port) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->pairs.begin();
+  while (it != impl_->pairs.end()) {
+    std::shared_ptr<Pair> pair = it->lock();
+    if (pair == nullptr) {
+      it = impl_->pairs.erase(it);
+      continue;
+    }
+    if (pair->server_port == port && !pair->cut) {
+      pair->cut = true;
+      pair->c2s.SetEof();
+      pair->s2c.SetEof();
+    }
+    ++it;
+  }
+  impl_->cv.notify_all();
+}
+
+SimStats SimNet::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+}  // namespace sim
+}  // namespace sop

@@ -195,18 +195,10 @@ void FuzzOne(const std::string& name, WindowType window_type, Rng* rng,
 }
 
 TEST(ChurnFuzzTest, SessionMatchesFreshDetectorUnderChurn) {
-  const char* seed_env = std::getenv("SOP_FUZZ_SEED");
-  const char* ms_env = std::getenv("SOP_FUZZ_MS");
-  const uint64_t seed = seed_env != nullptr
-                            ? std::strtoull(seed_env, nullptr, 10)
-                            : std::random_device{}();
-  const int64_t budget_ms = ms_env != nullptr ? std::atoll(ms_env) : 400;
-  std::fprintf(stderr,
-               "[ fuzz ] seed=%llu budget=%lldms (replay with "
-               "SOP_FUZZ_SEED=%llu)\n",
-               static_cast<unsigned long long>(seed),
-               static_cast<long long>(budget_ms),
-               static_cast<unsigned long long>(seed));
+  const testing::FuzzParams fuzz =
+      testing::AnnouncedFuzzParams("session churn", 400);
+  const uint64_t seed = fuzz.seed;
+  const int64_t budget_ms = fuzz.budget_ms;
 
   const std::vector<std::string>& names = KnownDetectorNames();
   const WindowType window_types[] = {WindowType::kCount, WindowType::kTime};

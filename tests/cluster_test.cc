@@ -337,6 +337,201 @@ TEST(ClusterTest, RoutedMatchesEngineUnderSocketFaults) {
   }
 }
 
+// Multi-attribute streams through the router: the partitioner cuts on the
+// FIRST attribute only while distances are full-dimensional, and
+// partition.h's exactness argument says one attribute suffices. Worst
+// case for that argument: spikes usually land on a NON-partitioned
+// attribute, so outliers keep values[0] near the cut and their verdicts
+// hinge on halo replicas.
+TEST(ClusterTest, RoutedMatchesEngineMultiAttribute) {
+  Workload workload(WindowType::kCount);
+  const std::vector<OutlierQuery> queries = {OutlierQuery(2.5, 4, 100, 50),
+                                             OutlierQuery(3.0, 3, 150, 50)};
+  for (const OutlierQuery& q : queries) workload.AddQuery(q);
+  ASSERT_EQ(workload.Validate(), "");
+
+  Rng rng(/*seed=*/101);
+  std::vector<Point> points;
+  points.reserve(320);
+  for (size_t i = 0; i < 320; ++i) {
+    std::vector<double> values = {rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0),
+                                  rng.Normal(0.0, 1.0)};
+    if (rng.Bernoulli(0.05)) {
+      values[rng.NextBelow(3)] += rng.Bernoulli(0.5) ? 8.0 : -8.0;
+    }
+    points.emplace_back(static_cast<Seq>(i), static_cast<Timestamp>(i),
+                        std::move(values));
+  }
+  const std::vector<Batch> batches = SliceCount(points, 50);
+  std::unique_ptr<OutlierDetector> detector = CreateDetector("sop", workload);
+  const std::vector<QueryResult> expected =
+      CollectResults(workload, points, detector.get());
+
+  TestCluster tc;
+  std::string error;
+  ASSERT_TRUE(StartCluster(&tc, 2, "sop", WindowType::kCount, &error))
+      << error;
+  const std::vector<QueryResult> actual =
+      RunRouted(tc.router->port(), queries, batches, "3-attr routed");
+  tc.router->Stop();
+  testing::ExpectSameResults(expected, actual, "3-attr routed");
+
+  size_t outliers = 0;
+  for (const QueryResult& r : expected) outliers += r.outliers.size();
+  EXPECT_GT(outliers, 0u);  // the spikes must actually surface
+  const RouterStats stats = tc.router->stats();
+  EXPECT_GT(stats.halo_points, 0u);
+  EXPECT_GT(stats.routed_points, stats.ingest_points);
+  EXPECT_EQ(stats.worker_failures, 0u);
+  EXPECT_FALSE(stats.degraded);
+  for (size_t w = 0; w < tc.workers.size(); ++w) {
+    EXPECT_TRUE(tc.workers[w]->stats().sharded) << "worker " << w;
+  }
+}
+
+// A replacement router over a fleet an earlier router already claimed.
+// The shard claim is worker-level state that outlives the connection, and
+// the new router re-declares its config at its first routed batch: a
+// MATCHING config is accepted as an idempotent re-send (serving resumes,
+// zero protocol errors), a CONFLICTING one is refused per worker. The new
+// router starts a fresh arrival numbering, so continuity is exactness
+// modulo that renumbering: once every window clears the handover, the
+// merged emissions equal the single-node run's with each outlier id
+// shifted by the points the first router consumed. Time windows
+// throughout — workers key windows on real timestamps, which survive the
+// handover (a count deployment's translated time axis deliberately does
+// not; see router.h).
+TEST(ClusterTest, ShardConfigRehandshakeAfterRouterRestart) {
+  Workload workload(WindowType::kTime);
+  const std::vector<OutlierQuery> queries = TestQueries(true);
+  for (const OutlierQuery& q : queries) workload.AddQuery(q);
+  ASSERT_EQ(workload.Validate(), "");
+  const std::vector<Point> points = GenPoints(240, true, /*seed=*/19);
+  const std::vector<Batch> batches = Slice(workload, points);
+  ASSERT_GT(batches.size(), 7u);
+  std::unique_ptr<OutlierDetector> detector = CreateDetector("sop", workload);
+  const std::vector<QueryResult> expected =
+      CollectResults(workload, points, detector.get());
+
+  std::string error;
+  std::vector<std::unique_ptr<SopServer>> workers;
+  RouterOptions ro;
+  ro.window_type = WindowType::kTime;
+  for (int i = 0; i < 2; ++i) {
+    auto worker = std::make_unique<SopServer>(WorkerOptions("sop"));
+    ASSERT_TRUE(worker->Start(&error)) << error;
+    ro.workers.push_back({"127.0.0.1", worker->port()});
+    workers.push_back(std::move(worker));
+  }
+  ro.partition = PartitionSpec::Uniform(-6.0, 6.0, 2);
+
+  // Phase A: the first router serves the first half of the stream.
+  const size_t handover = batches.size() / 2;
+  int64_t handover_boundary = 0;
+  Seq consumed_a = 0;  // points numbered by router A
+  {
+    SopRouter router_a(ro);
+    ASSERT_TRUE(router_a.Start(&error)) << error;
+    std::vector<Batch> first(batches.begin(),
+                             batches.begin() + static_cast<int64_t>(handover));
+    for (const Batch& b : first) {
+      consumed_a += static_cast<Seq>(b.points.size());
+      handover_boundary = b.boundary;
+    }
+    const std::vector<QueryResult> prefix =
+        RunRouted(router_a.port(), queries, first, "pre-restart");
+    router_a.Stop();
+    EXPECT_EQ(router_a.stats().protocol_errors, 0u);
+    std::vector<QueryResult> expected_prefix;
+    for (const QueryResult& r : expected) {
+      if (r.boundary <= handover_boundary) expected_prefix.push_back(r);
+    }
+    testing::ExpectSameResults(expected_prefix, prefix, "pre-restart");
+  }
+
+  // Phase B: a replacement router, same spec, same (still-claimed)
+  // workers. Its first routed batch re-declares the shard config.
+  SopRouter router_b(ro);
+  ASSERT_TRUE(router_b.Start(&error)) << error;
+  SopClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", router_b.port(), &error)) << error;
+  std::map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int64_t id = client.Subscribe(queries[i], &error);
+    ASSERT_GT(id, 0) << error;
+    index_of[id] = i;
+  }
+  struct TailEmission {
+    QueryResult result;
+    bool degraded = false;
+  };
+  std::vector<TailEmission> resumed;
+  for (size_t bi = handover; bi < batches.size(); ++bi) {
+    IngestAckMsg ack;
+    ASSERT_TRUE(
+        client.Ingest(batches[bi].boundary, batches[bi].points, &ack, &error))
+        << "batch " << bi << ": " << error;
+    // The re-declared config was accepted: the whole batch landed.
+    EXPECT_EQ(ack.accepted, batches[bi].points.size()) << "batch " << bi;
+    for (const EmissionMsg& e : client.TakeEmissions()) {
+      ASSERT_TRUE(index_of.count(e.query_id) != 0);
+      TailEmission te;
+      te.result.query_index = index_of[e.query_id];
+      te.result.boundary = e.boundary;
+      te.result.outliers = e.outliers;
+      te.degraded = e.degraded;
+      resumed.push_back(std::move(te));
+    }
+  }
+  EXPECT_EQ(router_b.stats().protocol_errors, 0u);
+  for (size_t w = 0; w < workers.size(); ++w) {
+    EXPECT_TRUE(workers[w]->stats().sharded) << "worker " << w;
+    EXPECT_EQ(workers[w]->stats().num_shards, 2u) << "worker " << w;
+  }
+
+  // Clean tail: every window past the handover holds only points the new
+  // router numbered, so emissions must be exact modulo the uniform id
+  // shift. (During the handover the workers' windows still hold points
+  // only the OLD router could translate — those emissions are honestly
+  // degraded and not compared.)
+  const int64_t clean = handover_boundary + 120;  // max window span
+  std::vector<QueryResult> expected_tail;
+  for (const QueryResult& r : expected) {
+    if (r.boundary < clean) continue;
+    QueryResult shifted = r;
+    for (Seq& s : shifted.outliers) s -= consumed_a;
+    expected_tail.push_back(std::move(shifted));
+  }
+  ASSERT_FALSE(expected_tail.empty());
+  std::vector<QueryResult> actual_tail;
+  for (const TailEmission& te : resumed) {
+    if (te.result.boundary < clean) continue;
+    EXPECT_FALSE(te.degraded) << "@" << te.result.boundary;
+    actual_tail.push_back(te.result);
+  }
+  testing::ExpectSameResults(expected_tail, actual_tail, "post-restart tail");
+
+  // Phase C: a router with DIFFERENT cuts against the claimed fleet. Each
+  // worker refuses the conflicting declaration at its first routed batch.
+  RouterOptions conflicting = ro;
+  conflicting.partition = PartitionSpec::Uniform(-3.0, 3.0, 2);
+  router_b.Stop();
+  SopRouter router_c(conflicting);
+  ASSERT_TRUE(router_c.Start(&error)) << error;
+  SopClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", router_c.port(), &error)) << error;
+  IngestAckMsg ack;
+  std::vector<Point> tail_points = batches.back().points;
+  ASSERT_TRUE(probe.Ingest(batches.back().boundary + 1000, tail_points, &ack,
+                           &error))
+      << error;
+  EXPECT_GE(router_c.stats().protocol_errors, 2u);  // one refusal per worker
+  probe.Close();
+  router_c.Stop();
+  client.Close();
+  for (std::unique_ptr<SopServer>& w : workers) w->Stop();
+}
+
 // A worker killed mid-stream and restarted on the same port (with
 // checkpoint_every_batches=1) is ridden out by the router's worker-client
 // recovery: the routed emission stream still matches the single-node run
@@ -587,7 +782,11 @@ TEST(ClusterTest, StopUnderActiveIngestDrains) {
       if (!client.Ingest(b.boundary, b.points, &ack, &ierror)) break;
     }
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Deterministic mid-flight point: at least one batch dispatched, many
+  // more still queued behind it (no fixed sleep — see EXPERIMENTS.md on
+  // the wall-clock-sleep sweep).
+  ASSERT_TRUE(WaitUntil(
+      [&] { return tc.router->stats().ingest_batches >= 1; }));
   tc.router->Stop();
   ingester.join();
   EXPECT_GT(tc.router->stats().ingest_batches, 0u);

@@ -22,6 +22,7 @@
 #include "sop/common/random.h"
 #include "sop/query/plan.h"
 #include "sop/query/workload.h"
+#include "test_util.h"
 
 namespace sop {
 namespace cluster {
@@ -146,18 +147,10 @@ double RegionDistance(const Partitioner& part, double v, int shard) {
 }
 
 TEST(PartitionTest, FuzzOwnershipCoverageAndHaloSymmetry) {
-  const char* seed_env = std::getenv("SOP_FUZZ_SEED");
-  const char* ms_env = std::getenv("SOP_FUZZ_MS");
-  const uint64_t seed = seed_env != nullptr
-                            ? std::strtoull(seed_env, nullptr, 10)
-                            : std::random_device{}();
-  const int64_t budget_ms = ms_env != nullptr ? std::atoll(ms_env) : 300;
-  std::fprintf(stderr,
-               "[ fuzz ] seed=%llu budget=%lldms (replay with "
-               "SOP_FUZZ_SEED=%llu)\n",
-               static_cast<unsigned long long>(seed),
-               static_cast<long long>(budget_ms),
-               static_cast<unsigned long long>(seed));
+  const testing::FuzzParams fuzz =
+      testing::AnnouncedFuzzParams("partition geometry", 300);
+  const uint64_t seed = fuzz.seed;
+  const int64_t budget_ms = fuzz.budget_ms;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(budget_ms);
   Rng rng(seed);

@@ -17,6 +17,7 @@
 #include "sop/common/random.h"
 #include "sop/common/serialize.h"
 #include "sop/net/protocol.h"
+#include "test_util.h"
 
 namespace sop {
 namespace net {
@@ -545,18 +546,10 @@ TEST(ProtocolTest, TruncationAtEveryPrefixIsRejectedOrIncomplete) {
 // under a different length than it encoded. Time-bounded; seed logged for
 // replay (SOP_FUZZ_SEED pins it, SOP_FUZZ_MS extends the budget).
 TEST(ProtocolTest, CorruptionFuzzNeverCrashes) {
-  const char* seed_env = std::getenv("SOP_FUZZ_SEED");
-  const char* ms_env = std::getenv("SOP_FUZZ_MS");
-  const uint64_t seed = seed_env != nullptr
-                            ? std::strtoull(seed_env, nullptr, 10)
-                            : std::random_device{}();
-  const int64_t budget_ms = ms_env != nullptr ? std::atoll(ms_env) : 200;
-  std::fprintf(stderr,
-               "[ fuzz ] seed=%llu budget=%lldms (replay with "
-               "SOP_FUZZ_SEED=%llu)\n",
-               static_cast<unsigned long long>(seed),
-               static_cast<long long>(budget_ms),
-               static_cast<unsigned long long>(seed));
+  const testing::FuzzParams fuzz =
+      testing::AnnouncedFuzzParams("protocol corruption", 200);
+  const uint64_t seed = fuzz.seed;
+  const int64_t budget_ms = fuzz.budget_ms;
 
   IngestMsg ingest;
   ingest.boundary = 1000;

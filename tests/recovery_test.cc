@@ -383,18 +383,10 @@ TEST(RecoveryTest, GenerationFallbackSurvivesCorruptNewest) {
 // any failure replays exactly. SOP_FUZZ_MS extends the budget (check.sh
 // runs ~2s); SOP_FUZZ_SEED pins the seed.
 TEST(RecoveryTest, CorruptionFuzzNeverCrashesOrAccepts) {
-  const char* seed_env = std::getenv("SOP_FUZZ_SEED");
-  const char* ms_env = std::getenv("SOP_FUZZ_MS");
-  const uint64_t seed = seed_env != nullptr
-                            ? std::strtoull(seed_env, nullptr, 10)
-                            : std::random_device{}();
-  const int64_t budget_ms = ms_env != nullptr ? std::atoll(ms_env) : 200;
-  std::fprintf(stderr,
-               "[ fuzz ] seed=%llu budget=%lldms (replay with "
-               "SOP_FUZZ_SEED=%llu)\n",
-               static_cast<unsigned long long>(seed),
-               static_cast<long long>(budget_ms),
-               static_cast<unsigned long long>(seed));
+  const testing::FuzzParams fuzz =
+      testing::AnnouncedFuzzParams("checkpoint corruption", 200);
+  const uint64_t seed = fuzz.seed;
+  const int64_t budget_ms = fuzz.budget_ms;
 
   const std::string valid = ValidCheckpointBytes();
   Rng rng(seed);

@@ -10,6 +10,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -80,6 +83,36 @@ inline void ExpectSameResults(const std::vector<QueryResult>& expected,
         << ResultToString(expected[i]) << "\n  actual   "
         << ResultToString(actual[i]);
   }
+}
+
+/// Parameters for a seeded fuzz/sweep loop. Every randomized suite in the
+/// repo draws its seed and time budget through AnnouncedFuzzParams so the
+/// replay contract is uniform: the seed is printed unconditionally (pass
+/// or fail), SOP_FUZZ_SEED pins it for replay, SOP_FUZZ_MS stretches the
+/// budget (soak runs).
+struct FuzzParams {
+  uint64_t seed = 0;
+  int64_t budget_ms = 0;
+};
+
+inline FuzzParams AnnouncedFuzzParams(const char* label,
+                                      int64_t default_budget_ms) {
+  FuzzParams params;
+  const char* seed_env = std::getenv("SOP_FUZZ_SEED");
+  params.seed = seed_env != nullptr
+                    ? std::strtoull(seed_env, nullptr, 10)
+                    : (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+                          std::random_device{}();
+  const char* ms_env = std::getenv("SOP_FUZZ_MS");
+  params.budget_ms =
+      ms_env != nullptr ? std::atoll(ms_env) : default_budget_ms;
+  std::fprintf(stderr,
+               "[ fuzz ] %s seed=%llu budget=%lldms "
+               "(replay with SOP_FUZZ_SEED=%llu)\n",
+               label, static_cast<unsigned long long>(params.seed),
+               static_cast<long long>(params.budget_ms),
+               static_cast<unsigned long long>(params.seed));
+  return params;
 }
 
 /// Runs `detector` over `points` and checks it against the oracle.

@@ -47,7 +47,7 @@ ctest --preset ubsan -j"$(nproc)" "$@"
 
 configure tsan
 cmake --build --preset tsan -j"$(nproc)"
-ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test|ha_test|churn_fuzz_test|kernel_test|partition_test|cluster_test' "$@"
+ctest --preset tsan -j"$(nproc)" -R 'fault_test|recovery_test|checkpoint_test|engine_test|stream_test|protocol_test|net_test|ha_test|churn_fuzz_test|kernel_test|partition_test|cluster_test|sim_test' "$@"
 
 configure noobs
 cmake --build --preset noobs -j"$(nproc)"

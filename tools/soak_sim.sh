@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# soak_sim.sh: the nightly deterministic-simulation soak. Runs the ctest
+# `soak` configuration (SimSoak.SeedSweep in sim_test: hundreds of seeded
+# fault schedules across the exactly-once, failover, and routed drills)
+# against an existing build tree, with failing seeds collected as an
+# artifact — each line of failing_seeds.txt is an environment prefix that
+# replays that schedule bit-identically:
+#
+#   SOP_FUZZ_SEED=<seed> SOP_SIM_SEEDS=1 build/tests/sim_test
+#
+# Usage: tools/soak_sim.sh [build-dir] [seeds]
+#   build-dir  defaults to `build` (must already be configured)
+#   seeds      defaults to 200; also settable via SOP_SIM_SEEDS
+# Artifacts land in ${SOP_SOAK_ARTIFACTS:-<build-dir>/soak-artifacts}.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+export SOP_SIM_SEEDS="${2:-${SOP_SIM_SEEDS:-200}}"
+export SOP_SOAK_ARTIFACTS="${SOP_SOAK_ARTIFACTS:-${BUILD_DIR}/soak-artifacts}"
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  echo "soak_sim.sh: '${BUILD_DIR}' is not a configured build tree" >&2
+  echo "  run: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 1
+fi
+
+mkdir -p "${SOP_SOAK_ARTIFACTS}"
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target sim_test
+
+# SOP_SOAK=1 comes from the test's ctest ENVIRONMENT property; the sweep
+# prints its base seed and every failing seed unconditionally.
+if ! ctest --test-dir "${BUILD_DIR}" -C soak -L soak --output-on-failure; then
+  echo "soak_sim.sh: FAILED — failing schedules recorded in" >&2
+  echo "  ${SOP_SOAK_ARTIFACTS}/failing_seeds.txt" >&2
+  exit 1
+fi
+echo "soak_sim.sh: ${SOP_SIM_SEEDS} seeds clean"
